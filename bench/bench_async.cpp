@@ -1,0 +1,174 @@
+// Asynchronous substrate experiments (the paper's future-work direction).
+//
+// (a) Bracha reliable broadcast: bits vs value size and n (the O(l n^2)
+//     cost that makes per-round RBC-based protocols expensive).
+// (b) Async AA: the plain t < n/5 single-exchange variant vs the witnessed
+//     t < n/3 variant -- cost per iteration, and contraction behaviour
+//     under the static adversarial schedule (where the plain variant
+//     stalls: the negative result pinned in test_async_protocols.cpp).
+#include <cstdio>
+
+#include "async/async_aa.h"
+#include "async/bracha_rbc.h"
+#include "async/witnessed_aa.h"
+#include "bench_support.h"
+#include "util/wire.h"
+
+namespace {
+
+using namespace coca;
+using namespace coca::async;
+
+std::uint64_t rbc_bits(int n, std::size_t len) {
+  const int t = (n - 1) / 3;
+  AsyncNetwork net(n, t, Scheduling::kFifo, 1);
+  Rng rng(len);
+  const Bytes value = rng.bytes(len);
+  for (int id = 0; id < n; ++id) {
+    net.set_process(id, [&, id](ProcessContext& ctx) {
+      (void)BrachaRbc::run(ctx, 0, id == 0 ? std::optional<Bytes>(value)
+                                           : std::nullopt);
+    });
+  }
+  return net.run().honest_bits();
+}
+
+struct AaRun {
+  std::uint64_t bits;
+  std::size_t deliveries;
+  BigNat diameter;
+};
+
+// t processes are corrupted: they flood every round tag with extreme
+// values, the attack that parks the plain variant's median map.
+AaRun run_plain(int n, int t, Scheduling policy, std::size_t rounds,
+                const std::vector<BigInt>& inputs) {
+  AsyncNetwork net(n, t, policy, 3);
+  std::vector<std::optional<BigInt>> outputs(n);
+  const AsyncApproxAgreement aa;
+  for (int id = 0; id < n; ++id) {
+    if (id < t) {
+      net.set_byzantine_process(id, [n, rounds, id](ProcessContext& ctx) {
+        (void)id;
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          for (int to = 0; to < n; ++to) {
+            Writer w;
+            w.u64(r);
+            w.u8(to % 2);  // equivocate per recipient: creates value camps
+            w.bignat(BigNat::pow2(40));
+            ctx.send(to, std::move(w).take());
+          }
+        }
+      });
+      continue;
+    }
+    net.set_process(id, [&, id](ProcessContext& ctx) {
+      outputs[static_cast<std::size_t>(id)] =
+          aa.run(ctx, inputs[static_cast<std::size_t>(id)], rounds);
+    });
+  }
+  const AsyncStats stats = net.run();
+  BigInt lo = *outputs[t], hi = *outputs[t];
+  for (int id = t; id < n; ++id) {
+    if (*outputs[id] < lo) lo = *outputs[id];
+    if (*outputs[id] > hi) hi = *outputs[id];
+  }
+  return {stats.honest_bits(), stats.deliveries, (hi - lo).magnitude()};
+}
+
+AaRun run_witnessed(int n, int t, Scheduling policy, std::size_t rounds,
+                    const std::vector<BigInt>& inputs) {
+  AsyncNetwork net(n, t, policy, 3);
+  std::vector<std::optional<BigInt>> outputs(n);
+  const WitnessedApproxAgreement aa;
+  for (int id = 0; id < n; ++id) {
+    if (id < t) {
+      // Corrupted: reliably broadcasts extreme values each round.
+      net.set_byzantine_process(id, [n, rounds, id](ProcessContext& ctx) {
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          Writer inner;
+          inner.u8(id % 2);
+          inner.bignat(BigNat::pow2(40));
+          Writer w;
+          w.u64(r);
+          w.u8(0);  // INIT
+          w.u32(static_cast<std::uint32_t>(id));
+          w.bytes(inner.peek());
+          const Bytes payload = std::move(w).take();
+          for (int to = 0; to < n; ++to) ctx.send(to, payload);
+        }
+      });
+      continue;
+    }
+    net.set_process(id, [&, id](ProcessContext& ctx) {
+      aa.run(ctx, inputs[static_cast<std::size_t>(id)], rounds,
+             [&outputs, id](const BigInt& v) {
+               outputs[static_cast<std::size_t>(id)] = v;
+             });
+    });
+  }
+  const AsyncStats stats = net.run();
+  BigInt lo = *outputs[t], hi = *outputs[t];
+  for (int id = t; id < n; ++id) {
+    if (*outputs[id] < lo) lo = *outputs[id];
+    if (*outputs[id] > hi) hi = *outputs[id];
+  }
+  return {stats.honest_bits(), stats.deliveries, (hi - lo).magnitude()};
+}
+
+}  // namespace
+
+int main() {
+  using coca::bench::human_bits;
+
+  std::printf("# Async-a: Bracha reliable broadcast cost (honest bits)\n");
+  std::printf("%-10s %-14s %-14s %-14s\n", "bytes", "n=4", "n=7", "n=13");
+  for (const std::size_t len : {16u, 256u, 4096u, 65536u}) {
+    std::printf("%-10zu %-14s %-14s %-14s\n", len,
+                human_bits(rbc_bits(4, len)).c_str(),
+                human_bits(rbc_bits(7, len)).c_str(),
+                human_bits(rbc_bits(13, len)).c_str());
+  }
+  std::printf("(theory: O(l n^2) -- every byte is echoed and readied by "
+              "every pair)\n\n");
+
+  std::printf("# Async-b: plain (t<n/5) vs witnessed (t<n/3) async AA, "
+              "16 iterations, inputs spread over 2^20\n");
+  std::printf("%-22s %-12s %-14s %-12s %-16s\n", "variant/scheduler", "n/t",
+              "honest bits", "deliveries", "final diameter");
+  Rng rng(71);
+  std::vector<BigInt> inputs11, inputs10;
+  for (int i = 0; i < 11; ++i) {
+    inputs11.emplace_back(static_cast<std::int64_t>(rng.below(1 << 20)));
+  }
+  for (int i = 0; i < 10; ++i) {
+    inputs10.emplace_back(static_cast<std::int64_t>(rng.below(1 << 20)));
+  }
+  const std::size_t iters = 16;
+  for (const auto& [name, policy] :
+       std::initializer_list<std::pair<const char*, Scheduling>>{
+           {"random", Scheduling::kRandomDelay},
+           {"static-fifo", Scheduling::kFifo}}) {
+    const AaRun p = run_plain(11, 2, policy, iters, inputs11);
+    std::printf("plain/%-16s %-12s %-14s %-12zu %-16s\n", name, "11/2",
+                human_bits(p.bits).c_str(), p.deliveries,
+                p.diameter.to_decimal().c_str());
+  }
+  for (const auto& [name, policy] :
+       std::initializer_list<std::pair<const char*, Scheduling>>{
+           {"random", Scheduling::kRandomDelay},
+           {"static-fifo", Scheduling::kFifo}}) {
+    const AaRun w = run_witnessed(10, 3, policy, iters, inputs10);
+    std::printf("witnessed/%-12s %-12s %-14s %-12zu %-16s\n", name, "10/3",
+                human_bits(w.bits).c_str(), w.deliveries,
+                w.diameter.to_decimal().c_str());
+  }
+  std::printf("\n(claims: the plain variant is ~20x cheaper per iteration "
+              "but tolerates only t < n/5 and has no worst-case contraction "
+              "guarantee (a median-map fixed point exists; see "
+              "test_async_protocols.cpp); the witnessed variant pays the "
+              "RBC+report overhead for guaranteed halving under every "
+              "schedule at the optimal t < n/3 -- the trade-off behind the "
+              "paper's closing open problem on asynchronous CA)\n");
+  return 0;
+}

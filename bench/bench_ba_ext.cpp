@@ -1,0 +1,65 @@
+// T4 -- long-message BA: Pi_lBA+ (Theorem 1) vs the Turpin-Coan baseline.
+//
+// Claim under test: BITS(Pi_lBA+) = O(l n + kappa n^2 log n) + BITS_k(Pi_BA)
+// against Turpin-Coan's O(l n^2); at fixed n the ratio TC/Pi_lBA+ should
+// approach ~n * (k / l-share overhead) as l grows, and the per-party,
+// per-bit cost of Pi_lBA+ should flatten to a constant.
+#include "bench_support.h"
+
+#include "ba/long_ba_plus.h"
+#include "ba/phase_king.h"
+#include "ba/turpin_coan.h"
+
+int main() {
+  using namespace coca;
+  using namespace coca::bench;
+
+  const ba::PhaseKingBinary bin;
+  const ba::TurpinCoan tc(bin);
+  const ba::BAKit kit{&bin, &tc};
+  const ba::LongBAPlus lba(kit);
+
+  std::printf("# T4a: BA for long messages, bits vs l (n = 10, t = 3, all "
+              "parties share the input)\n");
+  std::printf("%-10s %-16s %-18s %-8s\n", "l(bits)", "Pi_lBA+", "TurpinCoan",
+              "ratio");
+  Rng rng(55);
+  for (const std::size_t ell :
+       {1u << 10, 1u << 12, 1u << 14, 1u << 16, 1u << 18, 1u << 20}) {
+    const Bytes value = rng.bytes(ell / 8);
+    const auto ext = run_subprotocol(
+        10, 3, [&](net::PartyContext& ctx, int) { (void)lba.run(ctx, value); });
+    const auto naive = run_subprotocol(10, 3, [&](net::PartyContext& ctx, int) {
+      (void)tc.run(ctx, value);
+    });
+    std::printf("%-10zu %-16s %-18s %-8.2f\n", ell,
+                human_bits(ext.honest_bits()).c_str(),
+                human_bits(naive.honest_bits()).c_str(),
+                static_cast<double>(naive.honest_bits()) /
+                    static_cast<double>(ext.honest_bits()));
+  }
+
+  std::printf("\n# T4b: bits vs n (l = 2^16)\n");
+  std::printf("%-5s %-16s %-18s %-8s %-20s\n", "n", "Pi_lBA+", "TurpinCoan",
+              "ratio", "Pi_lBA+ bits/(l*n)");
+  const std::size_t ell = 1u << 16;
+  const Bytes value = rng.bytes(ell / 8);
+  for (const int n : {4, 7, 10, 13, 16, 19, 25, 31}) {
+    const int t = max_t(n);
+    const auto ext = run_subprotocol(
+        n, t, [&](net::PartyContext& ctx, int) { (void)lba.run(ctx, value); });
+    const auto naive = run_subprotocol(n, t, [&](net::PartyContext& ctx, int) {
+      (void)tc.run(ctx, value);
+    });
+    std::printf("%-5d %-16s %-18s %-8.2f %-20.2f\n", n,
+                human_bits(ext.honest_bits()).c_str(),
+                human_bits(naive.honest_bits()).c_str(),
+                static_cast<double>(naive.honest_bits()) /
+                    static_cast<double>(ext.honest_bits()),
+                static_cast<double>(ext.honest_bits()) /
+                    (static_cast<double>(ell) * n));
+  }
+  std::printf("\n(theory: T4a ratio grows toward ~n * 2/3; T4b Pi_lBA+ "
+              "bits/(l*n) flattens while the ratio grows with n)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// T2 -- honest communication vs l at fixed n.
+//
+// Claim under test: all three protocols are linear in l, but with slopes
+// ~c*n (Pi_Z), ~c*n^2 (BroadcastTrimCA), ~c*n^3 (HighCostCA); in particular
+// Pi_Z's cost per input bit per party approaches a constant, the paper's
+// communication-optimality.
+#include "bench_support.h"
+
+int main() {
+  using namespace coca;
+  using namespace coca::bench;
+
+  const int n = 13;
+  const std::size_t ells[] = {1u << 10, 1u << 12, 1u << 14, 1u << 16,
+                              1u << 18};
+
+  const ca::ConvexAgreement pi_z;
+  const ca::DefaultBAStack stack;
+  const ca::BroadcastTrimCA broadcast(stack.kit());
+  const ca::HighCostCAProtocol high_cost(stack.kit());
+
+  std::printf("# T2: honest communication vs l (n = %d, t = %d, spread "
+              "inputs, t garbage corruptions)\n",
+              n, max_t(n));
+  std::printf("%-10s %-16s %-18s %-16s %-14s\n", "l(bits)", "PiZ",
+              "BroadcastTrim", "HighCostCA", "PiZ bits/(l*n)");
+
+  std::vector<double> xs, ours, bc;
+  for (const std::size_t ell : ells) {
+    const auto inputs = spread_inputs(n, ell, 2000 + ell);
+    const Cost a = measure(pi_z, n, inputs, max_t(n), adv::Kind::kGarbage);
+    const Cost b =
+        measure(broadcast, n, inputs, max_t(n), adv::Kind::kGarbage);
+    const bool run_hc = ell <= (1u << 14);
+    const Cost c = run_hc
+                       ? measure(high_cost, n, inputs, max_t(n),
+                                 adv::Kind::kGarbage)
+                       : Cost{};
+    xs.push_back(static_cast<double>(ell));
+    ours.push_back(static_cast<double>(a.bits));
+    bc.push_back(static_cast<double>(b.bits));
+    std::printf("%-10zu %-16s %-18s %-16s %-14.2f\n", ell,
+                human_bits(a.bits).c_str(), human_bits(b.bits).c_str(),
+                run_hc ? human_bits(c.bits).c_str() : "-",
+                static_cast<double>(a.bits) /
+                    (static_cast<double>(ell) * n));
+  }
+
+  std::printf("\nempirical log-log slope in l:  PiZ=%.2f  Broadcast=%.2f   "
+              "(theory: -> 1 as l grows)\n",
+              loglog_slope(xs, ours), loglog_slope(xs, bc));
+  return 0;
+}

@@ -1,0 +1,60 @@
+// F1 -- crossover: where Pi_Z starts to win, as a function of l and n.
+//
+// Claim under test: the paper's optimality threshold l = Omega(kappa n
+// log^2 n). For each n we sweep l and report the cost ratio
+// baseline/Pi_Z; the first l where the ratio exceeds 1 (the crossover l*)
+// should grow with n roughly like n log^2 n, and the ratio should keep
+// growing with l afterwards (approaching ~n against the O(l n^2) baseline).
+#include "bench_support.h"
+
+int main() {
+  using namespace coca;
+  using namespace coca::bench;
+
+  const int ns[] = {4, 7, 13};
+  const std::size_t ells[] = {1u << 6,  1u << 8,  1u << 9, 1u << 10,
+                              1u << 12, 1u << 14, 1u << 16, 1u << 18};
+
+  const ca::ConvexAgreement pi_z;
+  const ca::DefaultBAStack stack;
+  const ca::HighCostCAProtocol high_cost(stack.kit());
+
+  std::printf("# F1: cost ratio HighCostCA / PiZ over l (ratio > 1 means "
+              "PiZ wins; crossover l* grows with n)\n");
+  std::printf("%-10s", "l(bits)");
+  for (const int n : ns) std::printf(" n=%-10d", n);
+  std::printf("\n");
+
+  std::vector<std::size_t> crossover(std::size(ns), 0);
+  for (const std::size_t ell : ells) {
+    std::printf("%-10zu", ell);
+    for (std::size_t i = 0; i < std::size(ns); ++i) {
+      const int n = ns[i];
+      // Keep the cubic baseline affordable.
+      if (static_cast<double>(ell) * n * n * n > 3e10) {
+        std::printf(" %-11s", "-");
+        continue;
+      }
+      const auto inputs = spread_inputs(n, ell, 3000 + ell + static_cast<unsigned>(n));
+      const Cost ours = measure(pi_z, n, inputs, max_t(n));
+      const Cost base = measure(high_cost, n, inputs, max_t(n));
+      const double ratio =
+          static_cast<double>(base.bits) / static_cast<double>(ours.bits);
+      if (ratio > 1.0 && crossover[i] == 0) crossover[i] = ell;
+      std::printf(" %-11.2f", ratio);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ncrossover l* (first swept l with ratio > 1):");
+  for (std::size_t i = 0; i < std::size(ns); ++i) {
+    if (crossover[i] != 0) {
+      std::printf("  n=%d: %zu", ns[i], crossover[i]);
+    } else {
+      std::printf("  n=%d: > sweep", ns[i]);
+    }
+  }
+  std::printf("\n(theory: l* = Theta(kappa n log^2 n) against the cubic "
+              "baseline's l n^3 vs our l n + kappa n^2 log^2 n)\n");
+  return 0;
+}

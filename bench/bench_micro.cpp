@@ -1,0 +1,176 @@
+// Microbenchmarks (google-benchmark) for every substrate: SHA-256, Merkle
+// build/verify, Reed-Solomon encode/decode, Bitstring/BigNat kernels, and
+// the BA building blocks on the simulator.
+#include <benchmark/benchmark.h>
+
+#include "ba/long_ba_plus.h"
+#include "ba/phase_king.h"
+#include "ba/turpin_coan.h"
+#include "codec/reed_solomon.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "net/sync_network.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace coca;
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(64 * 1024)->Arg(1024 * 1024);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < state.range(0); ++i) leaves.push_back(rng.bytes(128));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::MerkleTree::build(leaves));
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(8)->Arg(32)->Arg(128)->Arg(1024);
+
+void BM_MerkleVerify(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Bytes> leaves;
+  for (int i = 0; i < state.range(0); ++i) leaves.push_back(rng.bytes(128));
+  const auto tree = crypto::MerkleTree::build(leaves);
+  const auto witness = tree.witness(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::MerkleTree::verify(
+        tree.root(), leaves.size(), 1, leaves[1], witness));
+  }
+}
+BENCHMARK(BM_MerkleVerify)->Arg(32)->Arg(1024);
+
+void BM_RSEncode(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  const codec::ReedSolomon rs(static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(n - t));
+  Rng rng(4);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.encode(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+}
+BENCHMARK(BM_RSEncode)
+    ->Args({10, 4096})
+    ->Args({10, 65536})
+    ->Args({31, 65536})
+    ->Args({100, 65536});
+
+void BM_RSDecode(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  const std::size_t k = static_cast<std::size_t>(n - t);
+  const codec::ReedSolomon rs(static_cast<std::size_t>(n), k);
+  Rng rng(5);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(1)));
+  const auto shares = rs.encode(data);
+  // Decode from the non-systematic tail to force real interpolation.
+  std::vector<std::pair<std::size_t, Bytes>> pool;
+  for (std::size_t i = static_cast<std::size_t>(n) - k;
+       i < static_cast<std::size_t>(n); ++i) {
+    pool.emplace_back(i, shares[i]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.decode(pool, data.size()));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+}
+BENCHMARK(BM_RSDecode)->Args({10, 65536})->Args({31, 65536});
+
+void BM_BitstringSubstr(benchmark::State& state) {
+  Rng rng(6);
+  const Bitstring b = rng.bits(static_cast<std::size_t>(state.range(0)));
+  std::size_t pos = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.substr(pos, b.size() / 2));
+    pos = (pos * 7 + 1) % (b.size() / 2);
+  }
+}
+BENCHMARK(BM_BitstringSubstr)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_BitstringNumericCompare(benchmark::State& state) {
+  Rng rng(7);
+  const Bitstring a = rng.bits(static_cast<std::size_t>(state.range(0)));
+  Bitstring b = a;
+  b.set_bit(b.size() - 1, !b.bit(b.size() - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Bitstring::numeric_compare(a, b));
+  }
+}
+BENCHMARK(BM_BitstringNumericCompare)->Arg(1 << 14)->Arg(1 << 20);
+
+void BM_BigNatMul(benchmark::State& state) {
+  Rng rng(8);
+  const BigNat a = rng.nat_below_pow2(static_cast<std::size_t>(state.range(0)));
+  const BigNat b = rng.nat_below_pow2(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a * b);
+  }
+}
+BENCHMARK(BM_BigNatMul)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_BigNatToBits(benchmark::State& state) {
+  Rng rng(9);
+  const BigNat a = rng.nat_below_pow2(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.to_bits(static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_BigNatToBits)->Arg(4096)->Arg(65536);
+
+// Whole-protocol building blocks on the simulator (measures wall time of a
+// full lock-step run including threading overhead).
+void BM_PhaseKingBinary(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  const ba::PhaseKingBinary ba;
+  for (auto _ : state) {
+    net::SyncNetwork net(n, t);
+    for (int id = 0; id < n; ++id) {
+      net.set_honest(id, [&ba, id](net::PartyContext& ctx) {
+        benchmark::DoNotOptimize(ba.run(ctx, id % 2 == 0));
+      });
+    }
+    benchmark::DoNotOptimize(net.run());
+  }
+}
+BENCHMARK(BM_PhaseKingBinary)->Arg(4)->Arg(10)->Arg(31)->Unit(benchmark::kMillisecond);
+
+void BM_LongBAPlus64K(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int t = (n - 1) / 3;
+  const ba::PhaseKingBinary bin;
+  const ba::TurpinCoan tc(bin);
+  const ba::BAKit kit{&bin, &tc};
+  const ba::LongBAPlus lba(kit);
+  Rng rng(10);
+  const Bytes value = rng.bytes(64 * 1024);
+  for (auto _ : state) {
+    net::SyncNetwork net(n, t);
+    for (int id = 0; id < n; ++id) {
+      net.set_honest(id, [&](net::PartyContext& ctx) {
+        benchmark::DoNotOptimize(lba.run(ctx, value));
+      });
+    }
+    benchmark::DoNotOptimize(net.run());
+  }
+}
+BENCHMARK(BM_LongBAPlus64K)->Arg(4)->Arg(10)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

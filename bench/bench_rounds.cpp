@@ -1,0 +1,45 @@
+// T3 -- round complexity vs n.
+//
+// Claim under test (Corollary 2): ROUNDS(Pi_Z) = O(n log n) -- O(log n)
+// invocations of a Theta(n)-round Pi_BA -- while HighCostCA runs in O(n)
+// rounds. BroadcastTrimCA is included for completeness; our harness runs
+// its n broadcast instances sequentially, so its measured rounds carry an
+// extra factor n versus an interleaved implementation (see EXPERIMENTS.md).
+#include "bench_support.h"
+
+int main() {
+  using namespace coca;
+  using namespace coca::bench;
+
+  const std::size_t ell = 4096;
+  const int ns[] = {4, 7, 10, 13, 16, 19, 25, 31};
+
+  const ca::ConvexAgreement pi_z;
+  const ca::DefaultBAStack stack;
+  const ca::BroadcastTrimCA broadcast(stack.kit());
+  const ca::HighCostCAProtocol high_cost(stack.kit());
+
+  std::printf("# T3: rounds vs n (l = %zu bits, spread inputs)\n", ell);
+  std::printf("%-5s %-10s %-14s %-12s %-18s\n", "n", "PiZ", "HighCostCA",
+              "Broadcast", "PiZ/(n*log2(n))");
+
+  std::vector<double> xs, ours, hc;
+  for (const int n : ns) {
+    const auto inputs = spread_inputs(n, ell, 4000 + static_cast<unsigned>(n));
+    const Cost a = measure(pi_z, n, inputs, max_t(n));
+    const Cost c = measure(high_cost, n, inputs, max_t(n));
+    const Cost b = measure(broadcast, n, inputs, max_t(n));
+    xs.push_back(n);
+    ours.push_back(static_cast<double>(a.rounds));
+    hc.push_back(static_cast<double>(c.rounds));
+    std::printf("%-5d %-10zu %-14zu %-12zu %-18.2f\n", n, a.rounds, c.rounds,
+                b.rounds,
+                static_cast<double>(a.rounds) /
+                    (n * std::log2(static_cast<double>(n))));
+  }
+
+  std::printf("\nempirical log-log slope in n:  PiZ=%.2f  HighCost=%.2f   "
+              "(theory: ~1.x with log factor, ~1)\n",
+              loglog_slope(xs, ours), loglog_slope(xs, hc));
+  return 0;
+}

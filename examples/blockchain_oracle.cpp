@@ -1,0 +1,84 @@
+// Decentralized price oracle with large values.
+//
+// Ten oracle nodes report an asset price in wei-style fixed point (18
+// decimals, ~90-bit magnitudes); up to 3 nodes are controlled by a
+// manipulator who wants to print a fake price (cf. the paper's blockchain-
+// oracle application [5]). Besides correctness, this example showcases the
+// communication story: the nodes also attach a large audit blob to the
+// value (making inputs ~32 Kbit), the regime where Pi_Z's O(l n) beats the
+// broadcast-everything baseline's O(l n^2) -- both are run and metered.
+//
+// Build & run:  ./build/examples/blockchain_oracle
+#include <cstdio>
+
+#include "ca/broadcast_ca.h"
+#include "ca/driver.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace coca;
+
+  const int n = 10;
+  const int t = 3;
+
+  // Price of 1 unit: ~3141.59 tokens in 18-decimal fixed point, with
+  // per-node jitter, then shifted left to emulate a price+audit-data blob
+  // of ~32 Kbits (the oracle commits to price || audit log as one integer).
+  Rng rng(31415);
+  const BigNat price_base = BigNat::from_decimal("3141590000000000000000");
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    const BigNat jitter(rng.below(100'000'000'000ULL));
+    inputs.emplace_back(((price_base + jitter) << 32640) +
+                            rng.nat_below_pow2(32600),
+                        false);
+  }
+
+  ca::ConvexAgreement pi_z;
+  ca::DefaultBAStack stack;
+  ca::BroadcastTrimCA broadcast(stack.kit());
+
+  const auto attack = [&](const ca::CAProtocol& proto) {
+    ca::SimConfig config;
+    config.n = n;
+    config.t = t;
+    config.inputs = inputs;
+    // The manipulator equivocates and also floods the wire.
+    config.corruptions = {{2, adv::Kind::kSplitBrain},
+                          {5, adv::Kind::kExtremeHigh},
+                          {8, adv::Kind::kSpam}};
+    config.extreme_low = BigInt(0);
+    config.extreme_high = BigInt(price_base << 40000, false);  // absurd price
+    return ca::run_simulation(proto, config);
+  };
+
+  std::printf("oracle network: n=%d nodes, t=%d manipulated\n", n, t);
+  std::printf("input size    : ~%zu bits (price + audit blob)\n\n",
+              inputs[0].magnitude().bit_length());
+
+  bool ok = true;
+  for (const ca::CAProtocol* proto :
+       {static_cast<const ca::CAProtocol*>(&pi_z),
+        static_cast<const ca::CAProtocol*>(&broadcast)}) {
+    const ca::SimResult r = attack(*proto);
+    const bool valid = r.agreement() && r.convex_validity(inputs);
+    ok = ok && valid;
+    // Recover the agreed price (top bits of the agreed blob).
+    std::string price = "(none)";
+    for (const auto& out : r.outputs) {
+      if (out) {
+        price = BigNat(out->magnitude() >> 32640).to_decimal();
+        break;
+      }
+    }
+    std::printf("%-16s agreed price = %s\n", proto->name().c_str(),
+                price.c_str());
+    std::printf("%-16s honest bits  = %llu, rounds = %zu, valid = %s\n\n",
+                "", static_cast<unsigned long long>(r.stats.honest_bits()),
+                r.stats.rounds, valid ? "yes" : "NO");
+  }
+
+  std::printf("manipulated price rejected by both protocols: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

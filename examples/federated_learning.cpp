@@ -1,0 +1,122 @@
+// Byzantine-robust gradient aggregation.
+//
+// Ten workers train a shared model; each round they must agree on one
+// gradient before applying it (the fault-tolerant distributed learning
+// application the paper cites [4, 18, 19, 48]). Three workers are poisoned
+// and push huge gradients to blow up training. Coordinate-wise Convex
+// Agreement (VectorCA over Pi_Z) pins every coordinate of the agreed
+// gradient inside the honest gradients' bounding box, so the poisoning is
+// structurally filtered -- no outlier detection heuristics, no thresholds.
+//
+// Gradients use 6-decimal fixed point; the simulated loss landscape is a
+// simple quadratic bowl so convergence is measurable.
+//
+// Build & run:  ./build/examples/federated_learning
+#include <cstdio>
+
+#include "ca/driver.h"
+#include "ca/vector_ca.h"
+#include "util/fixed_point.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace coca;
+
+constexpr int kDim = 4;
+constexpr unsigned kPrecision = 6;
+constexpr std::int64_t kScale = 1'000'000;  // 10^kPrecision
+
+// Loss = sum_i (w_i - target_i)^2; honest gradient = 2 (w - target) plus
+// per-worker minibatch noise.
+const std::int64_t kTarget[kDim] = {1 * kScale, -2 * kScale, 0, 3 * kScale};
+
+std::vector<BigInt> honest_gradient(const std::int64_t* w, Rng& rng) {
+  std::vector<BigInt> g;
+  for (int i = 0; i < kDim; ++i) {
+    const std::int64_t noise =
+        static_cast<std::int64_t>(rng.below(2000)) - 1000;  // +-1e-3
+    g.emplace_back(2 * (w[i] - kTarget[i]) / 10 + noise);   // lr folded in
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 10;
+  const int t = 3;
+
+  ca::ConvexAgreement scalar;
+  ca::VectorCA aggregate(scalar);
+
+  std::int64_t weights[kDim] = {5 * kScale, 5 * kScale, 5 * kScale,
+                                -5 * kScale};
+  Rng rng(7);
+
+  std::printf("federated training: n=%d workers, t=%d poisoned, dim=%d\n\n",
+              n, t, kDim);
+  std::printf("%-6s %-44s %s\n", "step", "weights", "loss");
+
+  bool ok = true;
+  for (int step = 0; step < 8; ++step) {
+    // Each honest worker computes its gradient; poisoned workers run the
+    // protocol with a huge adversarial gradient on every coordinate.
+    std::vector<std::vector<BigInt>> gradients;
+    for (int w = 0; w < n; ++w) gradients.push_back(honest_gradient(weights, rng));
+
+    net::SyncNetwork net(n, t);
+    std::vector<std::optional<std::vector<BigInt>>> outputs(n);
+    const std::vector<BigInt> poison(kDim, BigInt(1'000'000 * kScale));
+    for (int id = 0; id < n; ++id) {
+      if (id >= n - t) {
+        net.set_byzantine_protocol(id, [&aggregate, poison](net::PartyContext& ctx) {
+          (void)aggregate.run(ctx, poison);
+        });
+      } else {
+        net.set_honest(id, [&, id](net::PartyContext& ctx) {
+          outputs[static_cast<std::size_t>(id)] =
+              aggregate.run(ctx, gradients[static_cast<std::size_t>(id)]);
+        });
+      }
+    }
+    (void)net.run();
+
+    // All honest workers hold the same agreed gradient; verify box validity
+    // coordinate-wise and apply it.
+    const std::vector<BigInt>& agreed = *outputs[0];
+    for (int id = 1; id < n - t; ++id) ok = ok && (*outputs[id] == agreed);
+    for (int i = 0; i < kDim; ++i) {
+      BigInt lo = gradients[0][static_cast<std::size_t>(i)];
+      BigInt hi = lo;
+      for (int w = 1; w < n - t; ++w) {
+        const BigInt& g = gradients[static_cast<std::size_t>(w)]
+                                   [static_cast<std::size_t>(i)];
+        if (g < lo) lo = g;
+        if (g > hi) hi = g;
+      }
+      ok = ok && lo <= agreed[static_cast<std::size_t>(i)] &&
+           agreed[static_cast<std::size_t>(i)] <= hi;
+    }
+
+    std::string ws;
+    std::int64_t loss_scaled = 0;
+    for (int i = 0; i < kDim; ++i) {
+      // agreed coordinates fit in 64 bits by box validity.
+      const BigInt& g = agreed[static_cast<std::size_t>(i)];
+      const std::int64_t gi =
+          (g.negative() ? -1 : 1) *
+          static_cast<std::int64_t>(g.magnitude().to_u64());
+      weights[i] -= gi;
+      ws += FixedPoint(BigInt(weights[i]), kPrecision).to_string() + " ";
+      const std::int64_t d = (weights[i] - kTarget[i]) / 1000;
+      loss_scaled += d * d;
+    }
+    std::printf("%-6d %-44s %.4f\n", step, ws.c_str(),
+                static_cast<double>(loss_scaled) / 1e6);
+  }
+
+  std::printf("\npoisoned gradients filtered, training converged: %s\n",
+              ok ? "yes" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Sensor fusion under escalating attacks.
+//
+// A fleet of 13 altitude sensors (aviation-control style, cf. the paper's
+// applications list) must agree on one reading, with t = 4 corrupted units.
+// The example runs the same honest fleet against every adversary in the
+// battery -- including the split-brain equivocator, the attack that breaks
+// naive averaging schemes -- and reports the agreed value and cost each
+// time. Convex Agreement guarantees the output never leaves the honest
+// envelope, whatever the corrupted units do.
+//
+// Build & run:  ./build/examples/sensor_fusion
+#include <cstdio>
+
+#include "ca/driver.h"
+#include "util/rng.h"
+
+int main() {
+  using namespace coca;
+
+  const int n = 13;
+  const int t = 4;
+
+  // Honest altimeters: 35000 ft +- small measurement noise (tenths of feet).
+  Rng rng(2024);
+  std::vector<BigInt> readings;
+  for (int i = 0; i < n; ++i) {
+    readings.emplace_back(
+        static_cast<std::int64_t>(349980 + rng.below(45)));
+  }
+
+  ca::ConvexAgreement protocol;
+
+  std::printf("altitude fusion: n=%d sensors, t=%d corrupted\n", n, t);
+  std::printf("honest envelope: 34998.0 .. 35002.5 ft (tenths)\n\n");
+  std::printf("%-14s %-14s %-9s %-12s %s\n", "adversary", "agreed value",
+              "rounds", "honest bits", "valid?");
+
+  bool all_ok = true;
+  for (const adv::Kind kind : adv::kAllKinds) {
+    ca::SimConfig config;
+    config.n = n;
+    config.t = t;
+    config.inputs = readings;
+    // Corrupt 4 sensors spread over the id space.
+    config.corruptions = {{1, kind}, {4, kind}, {7, kind}, {10, kind}};
+    config.extreme_low = BigInt(0);        // "on the ground"
+    config.extreme_high = BigInt(990000);  // "in orbit"
+
+    const ca::SimResult result = ca::run_simulation(protocol, config);
+    const bool ok =
+        result.agreement() && result.convex_validity(config.inputs);
+    all_ok = all_ok && ok;
+
+    std::string agreed = "(none)";
+    for (const auto& out : result.outputs) {
+      if (out) {
+        agreed = out->to_decimal();
+        break;
+      }
+    }
+    std::printf("%-14s %-14s %-9zu %-12llu %s\n",
+                std::string(adv::to_string(kind)).c_str(), agreed.c_str(),
+                result.stats.rounds,
+                static_cast<unsigned long long>(result.stats.honest_bits()),
+                ok ? "yes" : "NO");
+  }
+
+  std::printf("\n%s\n", all_ok ? "all attacks contained"
+                               : "PROPERTY VIOLATION DETECTED");
+  return all_ok ? 0 : 1;
+}

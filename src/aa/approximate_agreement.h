@@ -1,0 +1,57 @@
+// Synchronous Approximate Agreement (AA) -- the related-work primitive the
+// paper builds on conceptually (Section 1.1: the honest-range validity
+// requirement originates in AA [Dolev-Lynch-Pinter-Stark-Weihl'86]).
+//
+// Included as a comparison substrate: AA relaxes Agreement to "outputs
+// within epsilon" and converges by iterated averaging, with every iteration
+// shipping full values to everyone -- exactly the O(l n^2)-per-round pattern
+// whose cost the paper's CA protocol avoids. The bench bench_aa measures
+// the contrast.
+//
+// Algorithm (gradecast-flavoured single-hop validation, in the style of the
+// simple gradecast-based AA of Ben-Or-Dolev-Hoch):
+// each of R publicly known iterations runs two rounds:
+//   1. every party sends its current value to all;
+//   2. every party echoes a vector of hashes of what it received; a value is
+//      *accepted* iff n-t echo vectors confirm it, so an equivocating
+//      byzantine sender contributes at most one globally-consistent value
+//      (or none), and any two honest parties' accepted multisets differ in
+//      at most t entries -- never on honest senders' values.
+// The new value is the midpoint of the accepted multiset trimmed by t at
+// each end, which (a) stays inside the honest inputs' range (Convex
+// Validity) and (b) halves the honest diameter per iteration.
+//
+// R must be the same at all honest parties (synchronous lock-step); pick
+// R >= log2(initial_diameter / epsilon).
+#pragma once
+
+#include "net/sync_network.h"
+#include "util/bignat.h"
+
+namespace coca::aa {
+
+class SyncApproxAgreement {
+ public:
+  /// Runs `rounds` halving iterations (2 communication rounds each) and
+  /// returns the final value. All honest parties must pass equal `rounds`.
+  BigInt run(net::PartyContext& ctx, const BigInt& input,
+             std::size_t rounds) const;
+};
+
+/// The same iterated halving, but with each exchange validated by a full
+/// gradecast (values with grade >= 1 are accepted) -- the literal
+/// "simple gradecast based" construction of [6]. Costs 3 rounds and
+/// ~3 l n^2 bits per iteration versus hash-echo's 2 rounds and
+/// ~l n^2 + kappa n^3 bits; bench_aa contrasts them.
+class GradecastApproxAgreement {
+ public:
+  BigInt run(net::PartyContext& ctx, const BigInt& input,
+             std::size_t rounds) const;
+};
+
+/// ceil(log2(diameter / epsilon)) iterations guarantee the honest outputs
+/// are within epsilon of each other, given an a-priori public bound
+/// `diameter` on the honest inputs' spread.
+std::size_t iterations_for(const BigNat& diameter, const BigNat& epsilon);
+
+}  // namespace coca::aa

@@ -1,0 +1,77 @@
+#include "adversary/spec.h"
+
+#include <set>
+
+namespace coca::adv {
+
+std::string_view to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kSilent:
+      return "silent";
+    case Kind::kGarbage:
+      return "garbage";
+    case Kind::kSpam:
+      return "spam";
+    case Kind::kReplay:
+      return "replay";
+    case Kind::kEcho:
+      return "echo";
+    case Kind::kZeroes:
+      return "zeroes";
+    case Kind::kOnes:
+      return "ones";
+    case Kind::kExtremeLow:
+      return "extreme-low";
+    case Kind::kExtremeHigh:
+      return "extreme-high";
+    case Kind::kSplitBrain:
+      return "split-brain";
+  }
+  return "unknown";
+}
+
+void install(net::SyncNetwork& net, int id, Kind kind,
+             const ProtocolHooks& hooks) {
+  switch (kind) {
+    case Kind::kSilent:
+      net.set_byzantine(id, std::make_shared<Silent>());
+      return;
+    case Kind::kGarbage:
+      net.set_byzantine(id, std::make_shared<Garbage>());
+      return;
+    case Kind::kSpam:
+      net.set_byzantine(id, std::make_shared<Spam>());
+      return;
+    case Kind::kReplay:
+      net.set_byzantine(id, std::make_shared<Replay>());
+      return;
+    case Kind::kEcho:
+      net.set_byzantine(id, std::make_shared<Echo>());
+      return;
+    case Kind::kZeroes:
+      net.set_byzantine(id, std::make_shared<ConstantByte>(0));
+      return;
+    case Kind::kOnes:
+      net.set_byzantine(id, std::make_shared<ConstantByte>(1));
+      return;
+    case Kind::kExtremeLow:
+      require(static_cast<bool>(hooks.low), "install: low hook required");
+      net.set_byzantine_protocol(id, hooks.low);
+      return;
+    case Kind::kExtremeHigh:
+      require(static_cast<bool>(hooks.high), "install: high hook required");
+      net.set_byzantine_protocol(id, hooks.high);
+      return;
+    case Kind::kSplitBrain: {
+      require(static_cast<bool>(hooks.low) && static_cast<bool>(hooks.high),
+              "install: split-brain needs both hooks");
+      std::set<int> half;
+      for (int p = 0; p < net.n(); p += 2) half.insert(p);
+      net.set_split_brain(id, hooks.low, hooks.high, std::move(half));
+      return;
+    }
+  }
+  throw Error("install: unknown adversary kind");
+}
+
+}  // namespace coca::adv

@@ -1,0 +1,51 @@
+// Adversary taxonomy and installer.
+//
+// Names the corruption behaviours the tests and benches sweep over and
+// installs them into a SyncNetwork. Protocol-aware corruptions (extreme
+// inputs, split-brain equivocation) are expressed through caller-provided
+// hooks that wrap honest protocol code, keeping this module independent of
+// the protocol layer.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "adversary/strategies.h"
+
+namespace coca::adv {
+
+enum class Kind {
+  kSilent,       // crashed from the start
+  kGarbage,      // random malformed bytes
+  kSpam,         // oversized random payloads
+  kReplay,       // rushing replay of honest round traffic
+  kEcho,         // mirrors received messages back
+  kZeroes,       // constant 0x00 byte (attacks bit subprotocols)
+  kOnes,         // constant 0x01 byte
+  kExtremeLow,   // honest protocol, adversarially low input
+  kExtremeHigh,  // honest protocol, adversarially high input
+  kSplitBrain,   // equivocates: low-input instance to half the parties,
+                 // high-input instance to the rest
+};
+
+constexpr Kind kAllKinds[] = {
+    Kind::kSilent, Kind::kGarbage,    Kind::kSpam,
+    Kind::kReplay, Kind::kEcho,       Kind::kZeroes,
+    Kind::kOnes,   Kind::kExtremeLow, Kind::kExtremeHigh,
+    Kind::kSplitBrain,
+};
+
+std::string_view to_string(Kind kind);
+
+/// Honest-protocol closures for protocol-aware corruptions: `low` and
+/// `high` run the protocol under test with adversarially chosen inputs.
+struct ProtocolHooks {
+  net::SyncNetwork::ProtocolFn low;
+  net::SyncNetwork::ProtocolFn high;
+};
+
+/// Installs corruption `kind` as party `id` of `net`.
+void install(net::SyncNetwork& net, int id, Kind kind,
+             const ProtocolHooks& hooks);
+
+}  // namespace coca::adv

@@ -1,0 +1,89 @@
+// Scripted byzantine strategies.
+//
+// The paper's properties are universally quantified over adversaries; these
+// strategies are the canonical behaviours the property-test sweeps and the
+// adversarial benchmarks (T7) run against. Scripted strategies fabricate
+// bytes each round (with a rushing view of honest traffic); the
+// protocol-aware corruptions (extreme input, split-brain equivocation) are
+// built in `spec.h` from honest protocol code instead.
+#pragma once
+
+#include "net/sync_network.h"
+
+namespace coca::adv {
+
+/// Sends nothing, ever (a crashed party).
+class Silent final : public net::ByzantineStrategy {
+ public:
+  void on_round(const net::RoundView&,
+                const std::function<void(int, Bytes)>&) override {}
+};
+
+/// Sends short random byte strings to everyone each round: exercises every
+/// parser's malformed-input paths.
+class Garbage final : public net::ByzantineStrategy {
+ public:
+  void on_round(const net::RoundView& view,
+                const std::function<void(int, Bytes)>& send) override {
+    for (int to = 0; to < view.n; ++to) {
+      send(to, view.rng->bytes(1 + view.rng->below(40)));
+    }
+  }
+};
+
+/// Sends a large random payload to everyone each round: checks that honest
+/// communication (the BITS_l metric) is insensitive to byzantine spam, the
+/// motivation of the paper's "adversarially chosen communication" remark.
+class Spam final : public net::ByzantineStrategy {
+ public:
+  explicit Spam(std::size_t payload_size = 4096) : size_(payload_size) {}
+  void on_round(const net::RoundView& view,
+                const std::function<void(int, Bytes)>& send) override {
+    for (int to = 0; to < view.n; ++to) send(to, view.rng->bytes(size_));
+  }
+
+ private:
+  std::size_t size_;
+};
+
+/// Replays randomly chosen honest payloads of the current round to every
+/// party (a rushing adversary sending plausible-looking protocol messages,
+/// possibly different ones to different recipients).
+class Replay final : public net::ByzantineStrategy {
+ public:
+  void on_round(const net::RoundView& view,
+                const std::function<void(int, Bytes)>& send) override {
+    const auto& traffic = *view.honest_traffic;
+    if (traffic.empty()) return;
+    for (int to = 0; to < view.n; ++to) {
+      const auto& pick = traffic[view.rng->below(traffic.size())];
+      send(to, *pick.payload);
+    }
+  }
+};
+
+/// Echoes back to each sender whatever it sent last round (a "mirror" that
+/// fakes participation without state).
+class Echo final : public net::ByzantineStrategy {
+ public:
+  void on_round(const net::RoundView& view,
+                const std::function<void(int, Bytes)>& send) override {
+    for (const auto& e : *view.inbox) send(e.from, e.payload);
+  }
+};
+
+/// Sends one constant byte to everyone each round: a focused attack on the
+/// bit-valued subprotocols (votes, sign bits, king messages).
+class ConstantByte final : public net::ByzantineStrategy {
+ public:
+  explicit ConstantByte(std::uint8_t value) : value_(value) {}
+  void on_round(const net::RoundView& view,
+                const std::function<void(int, Bytes)>& send) override {
+    for (int to = 0; to < view.n; ++to) send(to, Bytes{value_});
+  }
+
+ private:
+  std::uint8_t value_;
+};
+
+}  // namespace coca::adv

@@ -1,0 +1,72 @@
+#include "async/async_aa.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/wire.h"
+
+namespace coca::async {
+
+namespace {
+
+Bytes encode(std::uint64_t round, const BigInt& v) {
+  Writer w;
+  w.u64(round);
+  w.u8(v.sign_bit() ? 1 : 0);
+  w.bignat(v.magnitude());
+  return std::move(w).take();
+}
+
+struct Parsed {
+  std::uint64_t round;
+  BigInt value;
+};
+
+std::optional<Parsed> decode(const Bytes& raw) {
+  Reader r(raw);
+  const auto round = r.u64();
+  const auto sign = r.u8();
+  if (!round || !sign || *sign > 1) return std::nullopt;
+  auto mag = r.bignat();
+  if (!mag || !r.at_end()) return std::nullopt;
+  return Parsed{*round, BigInt(std::move(*mag), *sign == 1)};
+}
+
+}  // namespace
+
+BigInt AsyncApproxAgreement::run(ProcessContext& ctx, const BigInt& input,
+                                 std::size_t rounds) const {
+  const int n = ctx.n();
+  const int t = ctx.t();
+  require(n > 5 * t, "AsyncApproxAgreement: requires n > 5t");
+
+  BigInt value = input;
+  // Buffered values by (round, sender); future rounds may arrive early
+  // because peers advance at their own pace.
+  std::map<std::uint64_t, std::map<int, BigInt>> buffered;
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    ctx.send_all(encode(r, value));
+    auto& pool = buffered[r];
+    while (pool.size() < static_cast<std::size_t>(n - t)) {
+      const Envelope e = ctx.receive();
+      const auto msg = decode(e.payload);
+      if (!msg || msg->round >= rounds || msg->round < r) continue;
+      buffered[msg->round].emplace(e.from, msg->value);  // first per sender
+    }
+    std::vector<BigInt> values;
+    values.reserve(pool.size());
+    for (const auto& [sender, v] : pool) values.push_back(v);
+    std::sort(values.begin(), values.end());
+    // Trim 2t per side (n - t >= 4t + 1 survivors is impossible to deplete
+    // since n > 5t); midpoint truncates toward zero, staying in range.
+    const BigInt& lo = values[static_cast<std::size_t>(2 * t)];
+    const BigInt& hi = values[values.size() - 1 - static_cast<std::size_t>(2 * t)];
+    const BigInt sum = lo + hi;
+    value = BigInt(sum.magnitude() >> 1, sum.negative());
+    buffered.erase(r);
+  }
+  return value;
+}
+
+}  // namespace coca::async

@@ -1,0 +1,52 @@
+// Asynchronous Approximate Agreement, t < n/5.
+//
+// The resilience regime the paper's conclusion names for the asynchronous
+// extension of its techniques ("we expect that our techniques can be easily
+// extended to the asynchronous setting for a lower number of corruptions
+// t < n/5"). This module provides the classic single-exchange asynchronous
+// AA at exactly that threshold, in the style of the original asynchronous
+// algorithm of [Dolev-Lynch-Pinter-Stark-Weihl'86]:
+//
+// per asynchronous round r: send (r, value) to all; wait for n-t round-r
+// values (the most any process can safely wait for -- t processes may never
+// speak); update to the midpoint of the collected multiset trimmed by 2t
+// per side. Two waiting processes can miss disjoint t-subsets of honest
+// values *and* receive t byzantine values each, so their multisets differ
+// in up to 2t entries per side -- the reason the asynchronous threshold
+// drops from n/3 to n/5 without reliable-broadcast machinery, and the 2t
+// trim keeps validity and per-round contraction.
+//
+// Each process runs a publicly agreed number of rounds and terminates;
+// stragglers always find the messages of finished processes in flight
+// (everything a process ever needs was sent before its peers finished).
+//
+// Guarantees, stated carefully: Validity (outputs stay inside the honest
+// inputs' range) holds against every scheduler and byzantine behaviour, and
+// pre-agreement is preserved. Per-round *contraction*, however, has no
+// worst-case guarantee for this single-exchange variant: at the n = 5t+1
+// boundary the 2t-per-side trim leaves a single survivor, so the update is
+// a median map, and a per-recipient-equivocating byzantine flooder under a
+// static schedule pins two honest camps at a non-converging fixed point
+// (each camp sees a majority of its own camp plus one byzantine extremist
+// and stays put forever). Both the combinatorial construction and the
+// live deterministic stall are pinned as tests in
+// test_async_protocols.cpp. The randomized/adaptive schedulers implemented
+// here converge empirically; the guarantee against *every* scheduler
+// requires the witness technique over reliable broadcasts (see
+// witnessed_aa.h), which also restores optimal resilience t < n/3.
+#pragma once
+
+#include "async/async_network.h"
+#include "util/bignat.h"
+
+namespace coca::async {
+
+class AsyncApproxAgreement {
+ public:
+  /// Runs `rounds` asynchronous iterations; all honest processes must use
+  /// the same count. Requires n > 5t.
+  BigInt run(ProcessContext& ctx, const BigInt& input,
+             std::size_t rounds) const;
+};
+
+}  // namespace coca::async

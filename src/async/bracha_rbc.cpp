@@ -1,0 +1,93 @@
+#include "async/bracha_rbc.h"
+
+#include <map>
+#include <set>
+
+#include "util/wire.h"
+
+namespace coca::async {
+
+namespace {
+
+enum class Type : std::uint8_t { kInit = 0, kEcho = 1, kReady = 2 };
+
+Bytes encode(Type type, const Bytes& value) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+struct Parsed {
+  Type type;
+  Bytes value;
+};
+
+std::optional<Parsed> decode(const Bytes& raw) {
+  Reader r(raw);
+  const auto type = r.u8();
+  if (!type || *type > 2) return std::nullopt;
+  auto value = r.bytes();
+  if (!value || !r.at_end()) return std::nullopt;
+  return Parsed{static_cast<Type>(*type), std::move(*value)};
+}
+
+}  // namespace
+
+Bytes BrachaRbc::run(ProcessContext& ctx, int broadcaster,
+                     const std::optional<Bytes>& input) {
+  const int n = ctx.n();
+  const int t = ctx.t();
+  require(broadcaster >= 0 && broadcaster < n, "BrachaRbc: bad broadcaster");
+  require(ctx.id() != broadcaster || input.has_value(),
+          "BrachaRbc: the broadcaster must supply an input");
+
+  if (ctx.id() == broadcaster) {
+    ctx.send_all(encode(Type::kInit, *input));
+  }
+
+  bool sent_echo = false;
+  bool sent_ready = false;
+  // Senders counted once per message type (per value for echo/ready).
+  std::set<int> echoed_by, readied_by;
+  std::map<Bytes, std::set<int>> echoes, readies;
+
+  for (;;) {
+    const Envelope e = ctx.receive();
+    const auto msg = decode(e.payload);
+    if (!msg) continue;
+    switch (msg->type) {
+      case Type::kInit:
+        // Only the designated broadcaster's first INIT counts.
+        if (e.from == broadcaster && !sent_echo) {
+          sent_echo = true;
+          ctx.send_all(encode(Type::kEcho, msg->value));
+        }
+        break;
+      case Type::kEcho:
+        if (!echoed_by.insert(e.from).second) break;
+        echoes[msg->value].insert(e.from);
+        if (!sent_ready &&
+            echoes[msg->value].size() >= static_cast<std::size_t>(n - t)) {
+          sent_ready = true;
+          ctx.send_all(encode(Type::kReady, msg->value));
+        }
+        break;
+      case Type::kReady: {
+        if (!readied_by.insert(e.from).second) break;
+        auto& backers = readies[msg->value];
+        backers.insert(e.from);
+        if (!sent_ready && backers.size() >= static_cast<std::size_t>(t + 1)) {
+          sent_ready = true;
+          ctx.send_all(encode(Type::kReady, msg->value));
+        }
+        if (backers.size() >= static_cast<std::size_t>(2 * t + 1)) {
+          return msg->value;
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace coca::async

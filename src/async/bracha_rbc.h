@@ -1,0 +1,34 @@
+// Bracha Reliable Broadcast (asynchronous, t < n/3).
+//
+// The foundational asynchronous primitive (cited in the paper's related
+// work via asynchronous Reliable Broadcast extension protocols [10, 41]):
+// a designated broadcaster distributes a value such that
+//   * an honest broadcaster's value is eventually delivered by all honest
+//     processes (validity + totality);
+//   * no two honest processes deliver different values (consistency), even
+//     from an equivocating broadcaster;
+//   * if any honest process delivers, all honest processes eventually
+//     deliver (totality).
+// A byzantine broadcaster may cause *nobody* to deliver -- Reliable
+// Broadcast has no termination guarantee in that case, which the simulator
+// surfaces as a detected deadlock.
+//
+// Classic INIT -> ECHO (n-t threshold) -> READY (t+1 amplification,
+// 2t+1 delivery) structure; O(l n^2) bits.
+#pragma once
+
+#include <optional>
+
+#include "async/async_network.h"
+
+namespace coca::async {
+
+class BrachaRbc {
+ public:
+  /// Participates in a single broadcast instance with the given
+  /// `broadcaster` (which must supply `input`); blocks until delivery.
+  static Bytes run(ProcessContext& ctx, int broadcaster,
+                   const std::optional<Bytes>& input);
+};
+
+}  // namespace coca::async

@@ -1,0 +1,249 @@
+#include "async/witnessed_aa.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/wire.h"
+
+namespace coca::async {
+
+namespace {
+
+enum class Kind : std::uint8_t {
+  kInit = 0,
+  kEcho = 1,
+  kReady = 2,
+  kReport = 3,
+};
+
+Bytes encode_value(const BigInt& v) {
+  Writer w;
+  w.u8(v.sign_bit() ? 1 : 0);
+  w.bignat(v.magnitude());
+  return std::move(w).take();
+}
+
+std::optional<BigInt> decode_value(const Bytes& raw) {
+  Reader r(raw);
+  const auto sign = r.u8();
+  if (!sign || *sign > 1) return std::nullopt;
+  auto mag = r.bignat();
+  if (!mag || !r.at_end()) return std::nullopt;
+  return BigInt(std::move(*mag), *sign == 1);
+}
+
+Bytes encode_rbc(std::uint64_t round, Kind kind, int leader,
+                 const Bytes& value) {
+  Writer w;
+  w.u64(round);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(static_cast<std::uint32_t>(leader));
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+Bytes encode_report(std::uint64_t round, const std::set<int>& senders) {
+  Writer w;
+  w.u64(round);
+  w.u8(static_cast<std::uint8_t>(Kind::kReport));
+  w.u32(narrow<std::uint32_t>(senders.size()));
+  for (const int s : senders) w.u32(static_cast<std::uint32_t>(s));
+  return std::move(w).take();
+}
+
+/// The per-process reactor: all Bracha instances (round, leader), all
+/// reports, and the derived per-round delivered values.
+class Reactor {
+ public:
+  Reactor(ProcessContext& ctx, std::size_t max_rounds)
+      : ctx_(ctx),
+        n_(ctx.n()),
+        t_(ctx.t()),
+        max_rounds_(max_rounds) {}
+
+  void broadcast_value(std::uint64_t round, const BigInt& v) {
+    ctx_.send_all(encode_rbc(round, Kind::kInit, ctx_.id(), encode_value(v)));
+  }
+
+  void send_report(std::uint64_t round) {
+    ctx_.send_all(encode_report(round, delivered_senders(round)));
+  }
+
+  /// Handles one incoming message (echo/ready side effects included).
+  void handle(const Envelope& e) {
+    Reader r(e.payload);
+    const auto round = r.u64();
+    const auto kind = r.u8();
+    if (!round || !kind || *round >= max_rounds_ || *kind > 3) return;
+    if (static_cast<Kind>(*kind) == Kind::kReport) {
+      const auto count = r.u32();
+      if (!count || *count > static_cast<std::uint32_t>(n_)) return;
+      std::set<int> named;
+      for (std::uint32_t i = 0; i < *count; ++i) {
+        const auto id = r.u32();
+        if (!id || *id >= static_cast<std::uint32_t>(n_)) return;
+        named.insert(static_cast<int>(*id));
+      }
+      if (!r.at_end()) return;
+      reports_[*round].emplace(e.from, std::move(named));  // first wins
+      return;
+    }
+    const auto leader = r.u32();
+    auto value = r.bytes();
+    if (!leader || *leader >= static_cast<std::uint32_t>(n_) || !value ||
+        !r.at_end()) {
+      return;
+    }
+    Instance& inst = instances_[{*round, static_cast<int>(*leader)}];
+    switch (static_cast<Kind>(*kind)) {
+      case Kind::kInit:
+        // Only the leader's own first INIT triggers an echo.
+        if (e.from == static_cast<int>(*leader) && !inst.sent_echo) {
+          inst.sent_echo = true;
+          ctx_.send_all(encode_rbc(*round, Kind::kEcho,
+                                   static_cast<int>(*leader), *value));
+        }
+        break;
+      case Kind::kEcho: {
+        if (!inst.echoed_by.insert(e.from).second) break;
+        auto& backers = inst.echoes[*value];
+        backers.insert(e.from);
+        if (!inst.sent_ready &&
+            backers.size() >= static_cast<std::size_t>(n_ - t_)) {
+          inst.sent_ready = true;
+          ctx_.send_all(encode_rbc(*round, Kind::kReady,
+                                   static_cast<int>(*leader), *value));
+        }
+        break;
+      }
+      case Kind::kReady: {
+        if (!inst.readied_by.insert(e.from).second) break;
+        auto& backers = inst.readies[*value];
+        backers.insert(e.from);
+        if (!inst.sent_ready &&
+            backers.size() >= static_cast<std::size_t>(t_ + 1)) {
+          inst.sent_ready = true;
+          ctx_.send_all(encode_rbc(*round, Kind::kReady,
+                                   static_cast<int>(*leader), *value));
+        }
+        if (!inst.delivered &&
+            backers.size() >= static_cast<std::size_t>(2 * t_ + 1)) {
+          inst.delivered = *value;
+          // Only parseable payloads count as delivered round values;
+          // parseability is a pure function of the delivered bytes, so all
+          // honest processes ignore the same garbage instances.
+          if (auto v = decode_value(*value)) {
+            delivered_[*round].emplace(static_cast<int>(*leader),
+                                       std::move(*v));
+          }
+        }
+        break;
+      }
+      case Kind::kReport:
+        break;  // handled above
+    }
+  }
+
+  std::size_t delivered_count(std::uint64_t round) {
+    return delivered_[round].size();
+  }
+
+  std::set<int> delivered_senders(std::uint64_t round) {
+    std::set<int> out;
+    for (const auto& [leader, value] : delivered_[round]) out.insert(leader);
+    return out;
+  }
+
+  /// Witnesses: reporters whose named senders we have all delivered.
+  std::size_t witness_count(std::uint64_t round) {
+    const std::set<int> have = delivered_senders(round);
+    std::size_t witnesses = 0;
+    for (const auto& [reporter, named] : reports_[round]) {
+      if (std::includes(have.begin(), have.end(), named.begin(),
+                        named.end())) {
+        ++witnesses;
+      }
+    }
+    return witnesses;
+  }
+
+  std::vector<BigInt> delivered_values(std::uint64_t round) {
+    std::vector<BigInt> out;
+    out.reserve(delivered_[round].size());
+    for (const auto& [leader, value] : delivered_[round]) {
+      out.push_back(value);
+    }
+    return out;
+  }
+
+ private:
+  struct Instance {
+    bool sent_echo = false;
+    bool sent_ready = false;
+    std::set<int> echoed_by, readied_by;
+    std::map<Bytes, std::set<int>> echoes, readies;
+    std::optional<Bytes> delivered;
+  };
+
+  ProcessContext& ctx_;
+  int n_;
+  int t_;
+  std::size_t max_rounds_;
+  std::map<std::pair<std::uint64_t, int>, Instance> instances_;
+  std::map<std::uint64_t, std::map<int, std::set<int>>> reports_;
+  std::map<std::uint64_t, std::map<int, BigInt>> delivered_;
+};
+
+}  // namespace
+
+void WitnessedApproxAgreement::run(
+    ProcessContext& ctx, const BigInt& input, std::size_t rounds,
+    const std::function<void(const BigInt&)>& on_output) const {
+  const int n = ctx.n();
+  const int t = ctx.t();
+  require(n > 3 * t, "WitnessedApproxAgreement: requires n > 3t");
+  require(static_cast<bool>(on_output),
+          "WitnessedApproxAgreement: output callback required");
+
+  Reactor reactor(ctx, rounds);
+  BigInt value = input;
+
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    reactor.broadcast_value(r, value);
+    bool report_sent = false;
+    for (;;) {
+      if (!report_sent &&
+          reactor.delivered_count(r) >= static_cast<std::size_t>(n - t)) {
+        reactor.send_report(r);
+        report_sent = true;
+      }
+      if (report_sent &&
+          reactor.witness_count(r) >= static_cast<std::size_t>(n - t)) {
+        break;
+      }
+      reactor.handle(ctx.receive());
+    }
+    // Update: midpoint of the t-per-side trimmed delivered multiset. Any
+    // two honest processes share an honest witness, so their multisets
+    // differ in at most t entries per side and the synchronous halving
+    // lemma applies.
+    std::vector<BigInt> values = reactor.delivered_values(r);
+    std::sort(values.begin(), values.end());
+    ensure(values.size() > 2 * static_cast<std::size_t>(t),
+           "WitnessedApproxAgreement: too few delivered values");
+    const BigInt& lo = values[static_cast<std::size_t>(t)];
+    const BigInt& hi = values[values.size() - 1 - static_cast<std::size_t>(t)];
+    const BigInt sum = lo + hi;
+    value = BigInt(sum.magnitude() >> 1, sum.negative());
+  }
+
+  on_output(value);
+  ctx.mark_done();
+  // Lingering service: keep the reliable-broadcast machinery alive for
+  // stragglers; the network unwinds this loop when every honest process is
+  // done.
+  for (;;) reactor.handle(ctx.receive());
+}
+
+}  // namespace coca::async

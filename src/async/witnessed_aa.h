@@ -1,0 +1,48 @@
+// Witness-technique asynchronous Approximate Agreement, optimal t < n/3.
+//
+// The robust counterpart of `AsyncApproxAgreement`: following the witness
+// technique of [Abraham-Amit-Dolev, OPODIS'04] (cited as [1] in the paper),
+// each iteration runs over *reliable broadcasts* (Bracha instances, one per
+// process) instead of bare sends:
+//
+//   1. RBC your (round, value): equivocation becomes impossible, and RBC
+//      totality means any value one honest process obtains is eventually
+//      obtained by all.
+//   2. After delivering n-t round-r values, broadcast a REPORT naming the
+//      senders you hold.
+//   3. Accept a process as a *witness* once you have delivered every sender
+//      its report names. Wait for n-t witnesses. Any two honest processes
+//      then share an honest witness W, hence both hold all n-t values W
+//      reported: their value multisets agree on >= n-t entries and differ
+//      in at most t per side.
+//   4. Update to the midpoint of the t-per-side-trimmed multiset: validity
+//      and per-round halving follow from the same counting lemma as the
+//      synchronous case -- now against *every* scheduler, which is exactly
+//      what the plain t < n/5 single-exchange variant cannot offer.
+//
+// Processes keep serving RBC echoes after their last round (mark_done +
+// lingering service loop) so stragglers retain the n-t honest participation
+// RBC totality needs.
+//
+// Cost per iteration: n Bracha instances of O(l n^2) bits each plus
+// O(n^3)-bit reports => O(l n^3 + n^4) bits. Communication-optimal
+// *asynchronous* CA is exactly the open problem the paper closes with.
+#pragma once
+
+#include "async/async_network.h"
+#include "util/bignat.h"
+
+namespace coca::async {
+
+class WitnessedApproxAgreement {
+ public:
+  /// Runs `rounds` witnessed iterations (same count at all honest
+  /// processes; n > 3t required), calls `on_output` with the final value,
+  /// marks the process done, and then *keeps serving* broadcast echoes for
+  /// straggling processes. The call does not return normally -- the network
+  /// unwinds it once every honest process has produced its output.
+  void run(ProcessContext& ctx, const BigInt& input, std::size_t rounds,
+           const std::function<void(const BigInt&)>& on_output) const;
+};
+
+}  // namespace coca::async

@@ -1,0 +1,126 @@
+#include "ba/dolev_strong.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/wire.h"
+
+namespace coca::ba {
+
+namespace {
+
+/// The bytes every signature in a chain covers: domain tag, the designated
+/// sender, and the value (binding a chain to one broadcast instance).
+Bytes signed_content(int sender, const Bytes& value) {
+  Writer w;
+  w.u8(0x44);  // 'D', domain separation from other signed material
+  w.u32(static_cast<std::uint32_t>(sender));
+  w.bytes(value);
+  return std::move(w).take();
+}
+
+struct Chain {
+  Bytes value;
+  std::vector<std::pair<int, crypto::Signature>> sigs;
+};
+
+Bytes encode_chain(const Chain& c) {
+  Writer w;
+  w.bytes(c.value);
+  w.u8(narrow<std::uint8_t>(c.sigs.size()));
+  for (const auto& [id, sig] : c.sigs) {
+    w.u32(static_cast<std::uint32_t>(id));
+    w.raw(std::span<const std::uint8_t>(sig.data(), sig.size()));
+  }
+  return std::move(w).take();
+}
+
+std::optional<Chain> decode_chain(const Bytes& raw, int n) {
+  Reader r(raw);
+  auto value = r.bytes();
+  const auto count = r.u8();
+  if (!value || !count || *count > n) return std::nullopt;
+  Chain c;
+  c.value = std::move(*value);
+  for (std::uint8_t i = 0; i < *count; ++i) {
+    const auto id = r.u32();
+    if (!id || *id >= static_cast<std::uint32_t>(n)) return std::nullopt;
+    crypto::Signature sig;
+    if (r.remaining() < sig.size()) return std::nullopt;
+    for (auto& byte : sig) byte = *r.u8();
+    c.sigs.emplace_back(static_cast<int>(*id), sig);
+  }
+  if (!r.at_end()) return std::nullopt;
+  return c;
+}
+
+}  // namespace
+
+std::optional<Bytes> DolevStrong::run(net::PartyContext& ctx,
+                                      const crypto::Signer& signer,
+                                      int sender,
+                                      const std::optional<Bytes>& input) const {
+  const int n = ctx.n();
+  const int t = ctx.t();
+  require(sender >= 0 && sender < n, "DolevStrong: bad sender id");
+  require(signer.id() == ctx.id(), "DolevStrong: foreign signer");
+  require(ctx.id() != sender || input.has_value(),
+          "DolevStrong: the sender must supply an input");
+  auto phase = ctx.phase("DolevStrong");
+
+  std::vector<Bytes> extracted;  // at most two values, insertion order
+  std::vector<Bytes> outbox;     // encoded chains to send next slot
+  if (ctx.id() == sender) {
+    Chain c{*input, {{sender, signer.sign(signed_content(sender, *input))}}};
+    outbox.push_back(encode_chain(c));
+    extracted.push_back(*input);
+  }
+
+  // Slots 0..t: send this slot's chains, then process receipts. A chain
+  // received at slot s needs s+1 valid signatures from distinct parties,
+  // the sender's among them.
+  for (int slot = 0; slot <= t; ++slot) {
+    for (const Bytes& m : outbox) ctx.send_all(m);
+    outbox.clear();
+
+    std::map<int, int> processed;  // per-sender work bound vs flooding
+    for (const auto& e : ctx.advance()) {
+      if (++processed[e.from] > 4) continue;  // honest parties send <= 2
+      const auto chain = decode_chain(e.payload, n);
+      if (!chain || chain->sigs.size() < static_cast<std::size_t>(slot + 1)) {
+        continue;
+      }
+      std::set<int> signers;
+      const Bytes content = signed_content(sender, chain->value);
+      bool ok = false;
+      bool valid = true;
+      for (const auto& [id, sig] : chain->sigs) {
+        if (!signers.insert(id).second || !pki_->verify(id, content, sig)) {
+          valid = false;
+          break;
+        }
+        ok |= id == sender;
+      }
+      if (!valid || !ok) continue;
+      if (std::find(extracted.begin(), extracted.end(), chain->value) !=
+          extracted.end()) {
+        continue;
+      }
+      if (extracted.size() == 2) continue;  // two already prove equivocation
+      extracted.push_back(chain->value);
+      if (slot < t) {
+        Chain forwarded = *chain;
+        if (!signers.contains(ctx.id())) {
+          forwarded.sigs.emplace_back(ctx.id(), signer.sign(content));
+        }
+        outbox.push_back(encode_chain(forwarded));
+      }
+    }
+  }
+
+  if (extracted.size() == 1) return extracted.front();
+  return std::nullopt;
+}
+
+}  // namespace coca::ba

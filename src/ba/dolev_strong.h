@@ -1,0 +1,45 @@
+// Dolev-Strong authenticated broadcast (t < n, with PKI setup).
+//
+// The classic signature-chain broadcast: t+1 rounds, tolerates any number
+// of corruptions, and is the natural substrate for the paper's open
+// problem "the synchronous model with t < n/2 corruptions assuming
+// cryptographic setup" (Section 8). A value is *extracted* at round r iff
+// it arrives carrying r+1 valid signatures from distinct parties, the
+// sender's among them; extracted values are re-signed and forwarded (at
+// most two distinct values ever -- two extractions already prove the
+// sender equivocated, and any two suffice to make every honest party
+// output the default). After round t+1: output the value iff exactly one
+// was extracted, else bottom.
+//
+// Guarantees: an honest sender's value is output by all honest parties
+// (validity); all honest parties output the same value-or-bottom
+// (consistency), even for a corrupted sender. Cost O(n^2 (l + n sigma))
+// bits with the two-value optimization.
+#pragma once
+
+#include <optional>
+
+#include "crypto/sim_signatures.h"
+#include "net/sync_network.h"
+
+namespace coca::ba {
+
+class DolevStrong {
+ public:
+  /// `pki` must outlive this object.
+  explicit DolevStrong(const crypto::SimulatedPki& pki) : pki_(&pki) {}
+
+  /// One broadcast with designated `sender` (which must supply `input`).
+  /// `signer` is this party's own signing capability. Runs exactly t+2
+  /// lock-step rounds for every party. Returns the broadcast value, or
+  /// bottom if the (necessarily corrupted) sender equivocated or stayed
+  /// silent.
+  std::optional<Bytes> run(net::PartyContext& ctx,
+                           const crypto::Signer& signer, int sender,
+                           const std::optional<Bytes>& input) const;
+
+ private:
+  const crypto::SimulatedPki* pki_;
+};
+
+}  // namespace coca::ba

@@ -1,0 +1,130 @@
+#include "ba/gradecast.h"
+
+#include <map>
+
+namespace coca::ba {
+
+namespace {
+
+/// Encodes one optional entry per instance in `values`.
+Bytes encode_vector(const std::vector<std::optional<Bytes>>& values) {
+  Writer w;
+  for (const auto& v : values) {
+    w.u8(v.has_value() ? 1 : 0);
+    if (v) w.bytes(*v);
+  }
+  return std::move(w).take();
+}
+
+/// Decodes an instance vector of exactly `count` entries; nullopt if
+/// malformed (the sender's whole vector is then ignored).
+std::optional<std::vector<std::optional<Bytes>>> decode_vector(
+    const Bytes& raw, std::size_t count) {
+  Reader r(raw);
+  std::vector<std::optional<Bytes>> out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto present = r.u8();
+    if (!present || *present > 1) return std::nullopt;
+    if (*present == 1) {
+      auto v = r.bytes();
+      if (!v) return std::nullopt;
+      out[i] = std::move(*v);
+    }
+  }
+  if (!r.at_end()) return std::nullopt;
+  return out;
+}
+
+/// Shared core: one 3-round batch of gradecast instances led by the parties
+/// in `is_leader`; `my_input` is this party's round-1 value when it leads.
+std::vector<GradedValue> run_batch(net::PartyContext& ctx,
+                                   const std::vector<bool>& is_leader,
+                                   const std::optional<Bytes>& my_input) {
+  const int n = ctx.n();
+  const int t = ctx.t();
+  const std::size_t nn = static_cast<std::size_t>(n);
+
+  // Round 1: leaders distribute their values.
+  if (is_leader[static_cast<std::size_t>(ctx.id())] && my_input) {
+    ctx.send_all(*my_input);
+  }
+  std::vector<std::optional<Bytes>> received(nn);
+  for (const auto& e : net::first_per_sender(ctx.advance())) {
+    if (is_leader[static_cast<std::size_t>(e.from)]) {
+      received[static_cast<std::size_t>(e.from)] = e.payload;
+    }
+  }
+
+  // Round 2: echo what each leader sent; per instance, keep the unique
+  // value echoed by >= n-t parties (two values cannot both qualify).
+  ctx.send_all(encode_vector(received));
+  std::vector<std::map<Bytes, int>> echo_counts(nn);
+  for (const auto& e : net::first_per_sender(ctx.advance())) {
+    const auto vec = decode_vector(e.payload, nn);
+    if (!vec) continue;
+    for (std::size_t j = 0; j < nn; ++j) {
+      if ((*vec)[j]) ++echo_counts[j][*(*vec)[j]];
+    }
+  }
+  std::vector<std::optional<Bytes>> y(nn);
+  for (std::size_t j = 0; j < nn; ++j) {
+    for (const auto& [value, cnt] : echo_counts[j]) {
+      if (cnt >= n - t) {
+        y[j] = value;
+        break;
+      }
+    }
+  }
+
+  // Round 3: distribute the y's and grade. Honest y's per instance name at
+  // most one value, so the t+1 and n-t thresholds each certify uniqueness.
+  ctx.send_all(encode_vector(y));
+  std::vector<std::map<Bytes, int>> support(nn);
+  for (const auto& e : net::first_per_sender(ctx.advance())) {
+    const auto vec = decode_vector(e.payload, nn);
+    if (!vec) continue;
+    for (std::size_t j = 0; j < nn; ++j) {
+      if ((*vec)[j]) ++support[j][*(*vec)[j]];
+    }
+  }
+  std::vector<GradedValue> out(nn);
+  for (std::size_t j = 0; j < nn; ++j) {
+    const Bytes* best = nullptr;
+    int best_count = 0;
+    for (const auto& [value, cnt] : support[j]) {
+      if (cnt > best_count) {
+        best = &value;
+        best_count = cnt;
+      }
+    }
+    if (best != nullptr && best_count >= t + 1) {
+      out[j].value = *best;
+      out[j].grade = best_count >= n - t ? 2 : 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GradedValue gradecast(net::PartyContext& ctx, int leader,
+                      const std::optional<Bytes>& input) {
+  require(leader >= 0 && leader < ctx.n(), "gradecast: bad leader id");
+  require(ctx.id() != leader || input.has_value(),
+          "gradecast: the leader must supply an input");
+  auto phase = ctx.phase("Gradecast");
+  std::vector<bool> is_leader(static_cast<std::size_t>(ctx.n()), false);
+  is_leader[static_cast<std::size_t>(leader)] = true;
+  return run_batch(ctx, is_leader,
+                   ctx.id() == leader ? input : std::nullopt)
+      [static_cast<std::size_t>(leader)];
+}
+
+std::vector<GradedValue> gradecast_all(net::PartyContext& ctx,
+                                       const Bytes& input) {
+  auto phase = ctx.phase("GradecastAll");
+  const std::vector<bool> is_leader(static_cast<std::size_t>(ctx.n()), true);
+  return run_batch(ctx, is_leader, input);
+}
+
+}  // namespace coca::ba

@@ -1,0 +1,40 @@
+// Gradecast (graded broadcast), t < n/3.
+//
+// The classic primitive behind the "simple gradecast based algorithms" line
+// of AA work the paper cites [6]: a designated leader distributes a value
+// and every party outputs (value, grade) with grade in {0, 1, 2} such that
+//   * an honest leader yields grade 2 for its value at every honest party;
+//   * if any honest party outputs grade 2, every honest party outputs the
+//     same value with grade >= 1;
+//   * any two honest parties with grade >= 1 hold the same value.
+// Cost: O(l n^2) bits, 3 rounds per instance.
+//
+// `GradecastAll` runs the n leader instances of one "everyone gradecasts"
+// step batched into the same 3 rounds (one combined message per round), the
+// form iterated agreement algorithms consume.
+#pragma once
+
+#include <optional>
+
+#include "net/sync_network.h"
+#include "util/wire.h"
+
+namespace coca::ba {
+
+struct GradedValue {
+  /// Engaged iff grade >= 1.
+  std::optional<Bytes> value;
+  int grade = 0;
+};
+
+/// One gradecast instance with `leader`; the leader passes its input, all
+/// other parties pass nullopt. Three rounds for everyone.
+GradedValue gradecast(net::PartyContext& ctx, int leader,
+                      const std::optional<Bytes>& input);
+
+/// Everyone gradecasts simultaneously: party i leads instance i with
+/// `input`; returns the n graded outputs (index = leader id). Three rounds.
+std::vector<GradedValue> gradecast_all(net::PartyContext& ctx,
+                                       const Bytes& input);
+
+}  // namespace coca::ba

@@ -1,0 +1,33 @@
+// Pi_lBA+ (Section 7, Theorem 1): BA for long messages with Intrusion
+// Tolerance and Bounded Pre-Agreement at extension-protocol cost.
+//
+// Pipeline, following the outline of [Nayak et al., DISC'20] / [Bhangale et
+// al., ASIACRYPT'22] that the paper builds on:
+//   1. RS-encode the l-bit input into n codewords (any n-t reconstruct) and
+//      accumulate them into a kappa-bit Merkle root z with witnesses.
+//   2. Agree on a root z* via Pi_BA+ (kappa-bit values). Bottom stays bottom.
+//   3. Distributing step: parties holding z = z* send codeword j plus its
+//      witness to P_j; every party that obtained its own verified codeword
+//      re-broadcasts it; everyone decodes from >= n-t verified codewords.
+//
+// Cost (Theorem 1): O(l n + kappa n^2 log n) + BITS_kappa(Pi_BA+) bits and
+// O(1) + ROUNDS(Pi_BA+) rounds.
+#pragma once
+
+#include "ba/ba_plus.h"
+
+namespace coca::ba {
+
+class LongBAPlus {
+ public:
+  explicit LongBAPlus(BAKit kit) : ba_plus_(kit) {}
+
+  /// Joins with an arbitrary-length input; returns the agreed value
+  /// (an honest party's input) or bottom.
+  MaybeBytes run(net::PartyContext& ctx, const Bytes& input) const;
+
+ private:
+  BAPlus ba_plus_;
+};
+
+}  // namespace coca::ba

@@ -1,0 +1,43 @@
+// Phase-King Byzantine Agreement (Berman-Garay-Perry style), t < n/3.
+//
+// The deterministic plain-model BA the paper's Corollary 2 plugs in as
+// Pi_BA. Runs t+1 phases of three rounds each; the phase-k king is party
+// k-1. Binary and multivalued variants share the same structure:
+//
+//   round 1 (universal exchange): send v; adopt the unique value received
+//     from >= n-t senders, else fall back to the sentinel "none".
+//   round 2 (universal exchange): send the round-1 result; let m be the
+//     most frequent non-sentinel value and call a party "strong" if m got
+//     >= n-t occurrences. Strong parties fix v := m.
+//   round 3 (king): the king sends its m; non-strong parties adopt it.
+//
+// Correctness for t < n/3 hinges on two counting facts proven in the
+// accompanying tests: after round 1 at most one real value survives among
+// honest parties, and in an honest king's phase the king's most frequent
+// value equals the survivors' value, so that phase ends in agreement, which
+// later phases preserve.
+//
+// Communication: O(n^2) messages per phase, O(n^2 (t+1)) = O(n^3) total for
+// binary inputs and O(l n^3) for l-bit inputs -- the classic costs the
+// extension protocols of Section 7 are built to avoid.
+#pragma once
+
+#include "ba/ba_interface.h"
+
+namespace coca::ba {
+
+/// Binary Phase-King BA.
+class PhaseKingBinary final : public BinaryBA {
+ public:
+  bool run(net::PartyContext& ctx, bool input) const override;
+};
+
+/// Multivalued Phase-King BA over Bytes-or-bottom (bottom is an ordinary
+/// domain value; the internal sentinel "none" is distinct from it).
+class PhaseKingMultivalued final : public MultivaluedBA {
+ public:
+  MaybeBytes run(net::PartyContext& ctx,
+                 const MaybeBytes& input) const override;
+};
+
+}  // namespace coca::ba

@@ -1,0 +1,33 @@
+// Turpin-Coan extension: multivalued BA from binary BA, t < n/3.
+//
+// The classic 2-round reduction [Turpin-Coan'84] the paper cites as the
+// first long-message extension protocol; costs O(l n^2) bits on top of one
+// binary BA. Serves two roles here:
+//   * the kappa-bit Pi_BA instantiation used inside Pi_BA+ (keeping the
+//     poly(n, kappa) additive term at O(kappa n^2 + n^3)), and
+//   * the naive long-message BA baseline that Pi_lBA+ (Theorem 1) beats by a
+//     factor of n (bench T4).
+//
+// As a byproduct of the reduction, the output is always an honest input or
+// bottom (Intrusion Tolerance in the paper's Definition 3); Bounded
+// Pre-Agreement, however, does NOT hold -- that is exactly the property
+// Pi_BA+ adds.
+#pragma once
+
+#include "ba/ba_interface.h"
+
+namespace coca::ba {
+
+class TurpinCoan final : public MultivaluedBA {
+ public:
+  /// `binary` must outlive this object.
+  explicit TurpinCoan(const BinaryBA& binary) : binary_(&binary) {}
+
+  MaybeBytes run(net::PartyContext& ctx,
+                 const MaybeBytes& input) const override;
+
+ private:
+  const BinaryBA* binary_;
+};
+
+}  // namespace coca::ba

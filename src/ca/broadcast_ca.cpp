@@ -1,0 +1,62 @@
+#include "ca/broadcast_ca.h"
+
+#include <algorithm>
+
+#include "util/wire.h"
+
+namespace coca::ca {
+
+namespace {
+
+Bytes encode_int(const BigInt& v) {
+  Writer w;
+  w.u8(v.sign_bit() ? 1 : 0);
+  w.bignat(v.magnitude());
+  return std::move(w).take();
+}
+
+std::optional<BigInt> decode_int(const Bytes& raw) {
+  Reader r(raw);
+  const auto sign = r.u8();
+  if (!sign || *sign > 1) return std::nullopt;
+  auto mag = r.bignat();
+  if (!mag || !r.at_end()) return std::nullopt;
+  return BigInt(std::move(*mag), *sign == 1);
+}
+
+}  // namespace
+
+BigInt BroadcastTrimCA::run(net::PartyContext& ctx, const BigInt& input) const {
+  const int n = ctx.n();
+  const int t = ctx.t();
+  auto phase = ctx.phase("BroadcastTrimCA");
+
+  // One extension broadcast per sender: the sender distributes its value,
+  // then everyone joins Pi_lBA+ with whatever they received. An honest
+  // sender's value is every honest party's input to Pi_lBA+, so BA Validity
+  // turns this into a broadcast; for byzantine senders any agreed value (or
+  // bottom) is acceptable.
+  const Bytes mine = encode_int(input);
+  std::vector<BigInt> view;
+  for (int sender = 0; sender < n; ++sender) {
+    if (ctx.id() == sender) ctx.send_all(mine);
+    Bytes received;
+    for (const auto& e : net::first_per_sender(ctx.advance())) {
+      if (e.from == sender) received = e.payload;
+    }
+    const ba::MaybeBytes agreed = lba_plus_.run(ctx, received);
+    if (!agreed) continue;
+    if (auto value = decode_int(*agreed)) view.push_back(std::move(*value));
+  }
+
+  // Identical views across honest parties (every entry is an agreed value).
+  // Sort, trim t from each end, take the median of the rest: with at least
+  // n - t honest entries, position p in [t, |view|-1-t] is bracketed by
+  // honest values.
+  std::sort(view.begin(), view.end());
+  const int sz = narrow<int>(view.size());
+  ensure(sz > 2 * t, "BroadcastTrimCA: too few broadcast values survived");
+  return view[static_cast<std::size_t>((sz - 1) / 2)];
+}
+
+}  // namespace coca::ca

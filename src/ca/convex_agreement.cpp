@@ -1,0 +1,18 @@
+#include "ca/convex_agreement.h"
+
+#include "ca/high_cost_ca.h"
+
+namespace coca::ca {
+
+BigInt HighCostCAProtocol::run(net::PartyContext& ctx,
+                               const BigInt& input) const {
+  // Sign handling as in Pi_Z (Section 6); the magnitude round is the cubic
+  // protocol itself.
+  const bool sign_out = kit_.binary->run(ctx, input.sign_bit());
+  const BigNat magnitude =
+      sign_out == input.sign_bit() ? input.magnitude() : BigNat(0);
+  const HighCostCA high_cost;
+  return BigInt(high_cost.run(ctx, magnitude), sign_out);
+}
+
+}  // namespace coca::ca

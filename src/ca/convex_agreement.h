@@ -1,0 +1,79 @@
+// Public facade: the one-stop entry point for Convex Agreement on integers.
+//
+//   coca::ca::ConvexAgreement ca;           // owns a default BA stack
+//   BigInt out = ca.run(ctx, BigInt(-1003));
+//
+// `CAProtocol` is the common interface for every whole-protocol CA in this
+// repository (the paper's Pi_Z, the HighCostCA baseline, the broadcast-based
+// baseline), so drivers, tests, and benches treat them uniformly.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ba/phase_king.h"
+#include "ba/turpin_coan.h"
+#include "ca/pi_z.h"
+
+namespace coca::ca {
+
+/// A complete Convex Agreement protocol over Z (Definition 1).
+class CAProtocol {
+ public:
+  virtual ~CAProtocol() = default;
+  /// Joins with an integer input; returns the agreed integer inside the
+  /// honest inputs' convex hull.
+  virtual BigInt run(net::PartyContext& ctx, const BigInt& input) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Default Pi_BA instantiation: binary Phase-King, with kappa-bit values
+/// handled by the Turpin-Coan reduction on top of it (so the multivalued
+/// runs cost O(kappa n^2) + one binary BA each).
+class DefaultBAStack {
+ public:
+  DefaultBAStack() : turpin_coan_(phase_king_) {}
+  DefaultBAStack(const DefaultBAStack&) = delete;
+  DefaultBAStack& operator=(const DefaultBAStack&) = delete;
+
+  ba::BAKit kit() const { return {&phase_king_, &turpin_coan_}; }
+
+ private:
+  ba::PhaseKingBinary phase_king_;
+  ba::TurpinCoan turpin_coan_;
+};
+
+/// The paper's protocol with the default BA stack. This is the class a
+/// downstream user instantiates.
+class ConvexAgreement final : public CAProtocol {
+ public:
+  ConvexAgreement() : pi_z_(stack_.kit()) {}
+
+  BigInt run(net::PartyContext& ctx, const BigInt& input) const override {
+    return pi_z_.run(ctx, input);
+  }
+  std::string name() const override { return "PiZ"; }
+
+  /// The underlying BA kit, for composing sub-protocols directly.
+  ba::BAKit kit() const { return stack_.kit(); }
+
+ private:
+  DefaultBAStack stack_;
+  PiZ pi_z_;
+};
+
+/// HighCostCA as a whole-protocol baseline ("existing CA protocol" in the
+/// paper's comparison): O(l n^3) bits, O(n) rounds. Supports Z by agreeing
+/// on the sign exactly as Pi_Z does.
+class HighCostCAProtocol final : public CAProtocol {
+ public:
+  explicit HighCostCAProtocol(ba::BAKit kit) : kit_(kit) {}
+
+  BigInt run(net::PartyContext& ctx, const BigInt& input) const override;
+  std::string name() const override { return "HighCostCA"; }
+
+ private:
+  ba::BAKit kit_;
+};
+
+}  // namespace coca::ca

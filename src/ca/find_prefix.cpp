@@ -1,0 +1,90 @@
+#include "ca/find_prefix.h"
+
+#include "util/wire.h"
+
+namespace coca::ca {
+
+namespace {
+
+Bytes encode_window(const Bitstring& bits) {
+  Writer w;
+  w.bitstring(bits);
+  return std::move(w).take();
+}
+
+/// Decodes a Pi_lBA+ output as a window of exactly `want_bits` bits.
+/// Intrusion Tolerance guarantees real outputs are honest windows, so a
+/// mismatch can only arise outside the threat model; treating it as bottom
+/// is consistent across honest parties because the input bytes are agreed.
+std::optional<Bitstring> decode_window(const ba::MaybeBytes& out,
+                                       std::size_t want_bits) {
+  if (!out) return std::nullopt;
+  Reader r(*out);
+  auto bits = r.bitstring();
+  if (!bits || !r.at_end() || bits->size() != want_bits) return std::nullopt;
+  return bits;
+}
+
+/// Shared search: positions are expressed in units of `unit` bits
+/// (unit = 1 for FindPrefix, unit = l/n^2 for FindPrefixBlocks).
+FindPrefixResult search(net::PartyContext& ctx, const ba::LongBAPlus& lba_plus,
+                        std::size_t total_units, std::size_t unit,
+                        Bitstring v) {
+  // Paper line 1: LEFT := 1, RIGHT := total+1, v_bot := v, PREFIX* := empty.
+  std::size_t left = 1;
+  std::size_t right = total_units + 1;
+  Bitstring v_bot = v;
+  Bitstring prefix;
+
+  while (left != right) {
+    const std::size_t mid = (left + right) / 2;
+    // Window of units LEFT..MID (1-indexed, inclusive) of the current value.
+    const Bitstring window =
+        v.substr((left - 1) * unit, (mid - left + 1) * unit);
+    const auto agreed =
+        decode_window(lba_plus.run(ctx, encode_window(window)),
+                      (mid - left + 1) * unit);
+    if (!agreed) {
+      // Bounded Pre-Agreement: for any MID-unit bitstring, t+1 honest
+      // values diverge from it; remember the current value as witness and
+      // keep searching in the left half.
+      v_bot = v;
+      right = mid;
+    } else {
+      // Intrusion Tolerance: prefix || agreed prefixes an honest value.
+      prefix.append(*agreed);
+      const auto cmp = Bitstring::numeric_compare(
+          v.prefix(mid * unit), prefix);  // |prefix| == mid * unit here
+      if (cmp == std::strong_ordering::less) {
+        v = Bitstring::min_fill(prefix, v.size());
+      } else if (cmp == std::strong_ordering::greater) {
+        v = Bitstring::max_fill(prefix, v.size());
+      }
+      left = mid + 1;
+    }
+  }
+  return {std::move(prefix), std::move(v), std::move(v_bot)};
+}
+
+}  // namespace
+
+FindPrefixResult find_prefix(net::PartyContext& ctx,
+                             const ba::LongBAPlus& lba_plus, std::size_t ell,
+                             Bitstring v) {
+  require(v.size() == ell, "find_prefix: value must have exactly ell bits");
+  auto phase = ctx.phase("FindPrefix");
+  return search(ctx, lba_plus, ell, 1, std::move(v));
+}
+
+FindPrefixResult find_prefix_blocks(net::PartyContext& ctx,
+                                    const ba::LongBAPlus& lba_plus,
+                                    std::size_t ell, std::size_t num_blocks,
+                                    Bitstring v) {
+  require(v.size() == ell, "find_prefix_blocks: value must have ell bits");
+  require(num_blocks >= 1 && ell % num_blocks == 0,
+          "find_prefix_blocks: ell must be a positive multiple of num_blocks");
+  auto phase = ctx.phase("FindPrefixBlocks");
+  return search(ctx, lba_plus, num_blocks, ell / num_blocks, std::move(v));
+}
+
+}  // namespace coca::ca

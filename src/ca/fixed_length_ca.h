@@ -1,0 +1,36 @@
+// FixedLengthCA (Section 3, Theorem 2): CA for l-bit inputs in N with
+// publicly known l.
+//
+// Composition of the three subprotocols:
+//   1. FindPrefix agrees on PREFIX* and equips each party with valid values
+//      v (extending PREFIX*) and v_bot (the divergence witness).
+//   2. If |PREFIX*| = l every party already holds the same valid v: output.
+//   3. Otherwise AddLastBit extends PREFIX* to i*+1 bits, after which t+1
+//      honest witnesses v_bot provably diverge from it, and GetOutput
+//      resolves the final value.
+//
+// Cost (Theorem 2): O(l n + kappa n^2 log n log l) + O(log l) BITS_k(Pi_BA)
+// bits and O(log l) ROUNDS(Pi_BA) rounds -- the paper's headline O(l n) for
+// l in poly(n).
+#pragma once
+
+#include "ba/long_ba_plus.h"
+#include "ca/find_prefix.h"
+#include "ca/get_output.h"
+
+namespace coca::ca {
+
+class FixedLengthCA {
+ public:
+  explicit FixedLengthCA(ba::BAKit kit) : kit_(kit), lba_plus_(kit) {}
+
+  /// Joins with a valid `ell`-bit value; `ell` must be common knowledge.
+  /// Returns the agreed `ell`-bit value inside the honest inputs' range.
+  Bitstring run(net::PartyContext& ctx, std::size_t ell, Bitstring v_in) const;
+
+ private:
+  ba::BAKit kit_;
+  ba::LongBAPlus lba_plus_;
+};
+
+}  // namespace coca::ca

@@ -1,0 +1,40 @@
+// FixedLengthCABlocks (Section 4, Theorem 4): CA for very long l-bit inputs
+// (l a multiple of n^2, typically l >= n^2), round-efficient.
+//
+// Identical composition to FixedLengthCA, but the prefix search runs over
+// n^2 blocks of l/n^2 bits (O(log n) Pi_lBA+ iterations instead of
+// O(log l)), and the one-step extension agrees on a whole block via the
+// cubic-cost HighCostCA -- affordable because a block has only l/n^2 bits,
+// so the step costs O(l/n^2 * n^3) = O(l n) (AddLastBlock, Lemma 5).
+//
+// Cost (Theorem 4): O(l n + kappa n^2 log^2 n) + O(log n) BITS_k(Pi_BA) bits
+// and O(n) + O(log n) ROUNDS(Pi_BA) rounds.
+#pragma once
+
+#include "ba/long_ba_plus.h"
+#include "ca/find_prefix.h"
+#include "ca/get_output.h"
+#include "ca/high_cost_ca.h"
+
+namespace coca::ca {
+
+/// AddLastBlock (Section 4, Lemma 5): extends an agreed prefix of i* < n^2
+/// whole blocks by one block, agreed via HighCostCA over the block values.
+Bitstring add_last_block(net::PartyContext& ctx, std::size_t ell,
+                         std::size_t block_bits, const Bitstring& v,
+                         Bitstring prefix);
+
+class FixedLengthCABlocks {
+ public:
+  explicit FixedLengthCABlocks(ba::BAKit kit) : kit_(kit), lba_plus_(kit) {}
+
+  /// Joins with a valid `ell`-bit value; `ell` must be common knowledge and
+  /// a positive multiple of n^2.
+  Bitstring run(net::PartyContext& ctx, std::size_t ell, Bitstring v_in) const;
+
+ private:
+  ba::BAKit kit_;
+  ba::LongBAPlus lba_plus_;
+};
+
+}  // namespace coca::ca

@@ -1,0 +1,32 @@
+// AddLastBit (Section 3, Lemma 2) and GetOutput (Section 3, Lemma 3).
+//
+// After FindPrefix, PREFIX* prefixes a valid value but may be shorter than
+// l. AddLastBit extends it by one bit via binary BA on the next bit of each
+// party's valid value v (Validity of BA makes the extension some honest
+// value's prefix).
+//
+// GetOutput then decides between MIN_l(PREFIX*) and MAX_l(PREFIX*): the t+1
+// honest parties whose witness v_bot diverges from PREFIX* announce on which
+// side their v_bot lies (one bit each -- the only step of the whole protocol
+// where "validity evidence" is communicated, and it costs O(n^2) bits
+// total); the majority bit among those received is necessarily honest, and a
+// final binary BA fixes the choice.
+#pragma once
+
+#include "ba/ba_interface.h"
+#include "util/bitstring.h"
+
+namespace coca::ca {
+
+/// AddLastBit: extends the agreed `prefix` (|prefix| < ell) by one bit,
+/// using each party's valid `ell`-bit value `v` with prefix `prefix`.
+Bitstring add_last_bit(net::PartyContext& ctx, const ba::BinaryBA& bin,
+                       std::size_t ell, const Bitstring& v, Bitstring prefix);
+
+/// GetOutput: agrees on MIN_l(prefix) or MAX_l(prefix), both of which can be
+/// announced as valid by the parties whose `v_bot` diverges from `prefix`.
+Bitstring get_output(net::PartyContext& ctx, const ba::BinaryBA& bin,
+                     std::size_t ell, const Bitstring& v_bot,
+                     const Bitstring& prefix);
+
+}  // namespace coca::ca

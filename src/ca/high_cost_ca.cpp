@@ -1,0 +1,152 @@
+#include "ca/high_cost_ca.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/wire.h"
+
+namespace coca::ca {
+
+namespace {
+
+Bytes encode_nat(const BigNat& v) {
+  Writer w;
+  w.bignat(v);
+  return std::move(w).take();
+}
+
+std::optional<BigNat> decode_nat(const Bytes& raw) {
+  Reader r(raw);
+  auto v = r.bignat();
+  if (!v || !r.at_end()) return std::nullopt;
+  return v;
+}
+
+/// Parses one natural per sender from a round's inbox, dropping malformed
+/// messages (the paper's "ignore values outside N").
+std::vector<BigNat> collect_naturals(const std::vector<net::Envelope>& inbox) {
+  std::vector<BigNat> out;
+  for (const auto& e : net::first_per_sender(inbox)) {
+    if (auto v = decode_nat(e.payload)) out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+/// Occurrence counts keyed by value.
+std::map<BigNat, int> count_naturals(const std::vector<net::Envelope>& inbox) {
+  std::map<BigNat, int> counts;
+  for (const auto& e : net::first_per_sender(inbox)) {
+    if (auto v = decode_nat(e.payload)) ++counts[*v];
+  }
+  return counts;
+}
+
+/// Smallest value reaching `threshold` occurrences, if any.
+std::optional<BigNat> value_with_count(const std::map<BigNat, int>& counts,
+                                       int threshold) {
+  for (const auto& [value, cnt] : counts) {
+    if (cnt >= threshold) return value;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+BigNat HighCostCA::run(net::PartyContext& ctx, const BigNat& input) const {
+  const int n = ctx.n();
+  const int t = ctx.t();
+  auto phase = ctx.phase("HighCostCA");
+
+  // ---- Setup stage ----
+  // Distribute inputs; with r = (n - t) + k values received, at most k are
+  // byzantine, so the (k+1)-th lowest / highest received values bracket a
+  // sub-interval of the honest inputs' range (Lemma 10).
+  ctx.send_all(encode_nat(input));
+  std::vector<BigNat> received = collect_naturals(ctx.advance());
+  std::sort(received.begin(), received.end());
+  const int r = narrow<int>(received.size());
+  const int k = std::max(0, r - (n - t));  // max(.,0) only guards t' > t runs
+  ensure(r > 2 * k, "HighCostCA: fewer values than honest parties");
+  const BigNat interval_min = received[static_cast<std::size_t>(k)];
+  const BigNat interval_max = received[static_cast<std::size_t>(r - 1 - k)];
+
+  // Exchange intervals; SUGGESTION is a natural covered by >= n-t of the
+  // received intervals (exists by Corollary 4: honest intervals intersect).
+  // The smallest qualifying left endpoint is a deterministic such choice.
+  {
+    Writer w;
+    w.bignat(interval_min);
+    w.bignat(interval_max);
+    ctx.send_all(std::move(w).take());
+  }
+  std::vector<std::pair<BigNat, BigNat>> intervals;
+  for (const auto& e : net::first_per_sender(ctx.advance())) {
+    Reader rd(e.payload);
+    auto lo = rd.bignat();
+    auto hi = rd.bignat();
+    if (!lo || !hi || !rd.at_end() || *lo > *hi) continue;
+    intervals.emplace_back(std::move(*lo), std::move(*hi));
+  }
+  BigNat suggestion = interval_min;  // defensive fallback, normally replaced
+  {
+    std::vector<BigNat> candidates;
+    for (const auto& [lo, hi] : intervals) candidates.push_back(lo);
+    std::sort(candidates.begin(), candidates.end());
+    for (const BigNat& c : candidates) {
+      int cover = 0;
+      for (const auto& [lo, hi] : intervals) {
+        if (lo <= c && c <= hi) ++cover;
+      }
+      if (cover >= n - t) {
+        suggestion = c;
+        break;
+      }
+    }
+  }
+  BigNat current = suggestion;
+
+  // ---- Search stage: t+1 king phases ----
+  for (int king = 0; king <= t; ++king) {
+    // Send CURRENT to all.
+    ctx.send_all(encode_nat(current));
+    const auto current_counts = count_naturals(ctx.advance());
+    const auto propose = value_with_count(current_counts, n - t);
+
+    // Send (PROPOSE, v) if some value was received n-t times.
+    if (propose) {
+      ctx.send_all(encode_nat(*propose));
+    }
+    const auto propose_counts = count_naturals(ctx.advance());
+    const auto widely_proposed = value_with_count(propose_counts, n - t);
+    const auto backed_proposal = value_with_count(propose_counts, t + 1);
+    if (backed_proposal) current = *backed_proposal;
+
+    // King broadcasts its value.
+    if (ctx.id() == king) {
+      ctx.send_all(encode_nat(backed_proposal ? *backed_proposal : suggestion));
+    }
+    std::optional<BigNat> king_value;
+    for (const auto& e : net::first_per_sender(ctx.advance())) {
+      if (e.from != king) continue;
+      if (auto v = decode_nat(e.payload)) king_value = std::move(*v);
+    }
+
+    // Vote for the king's value if it matches CURRENT or the trusted
+    // interval; adopt a king value backed by t+1 votes unless some value
+    // already had n-t proposals.
+    if (king_value &&
+        (*king_value == current ||
+         (interval_min <= *king_value && *king_value <= interval_max))) {
+      ctx.send_all(encode_nat(*king_value));
+    }
+    const auto vote_counts = count_naturals(ctx.advance());
+    if (!widely_proposed) {
+      if (const auto backed_vote = value_with_count(vote_counts, t + 1)) {
+        current = *backed_vote;
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace coca::ca

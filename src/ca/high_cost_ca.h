@@ -1,0 +1,32 @@
+// HighCostCA (Appendix A.4, Theorem 3): O(l n^3) Convex Agreement.
+//
+// The paper's adaptation of the Median Validity protocol of
+// [Stolz-Wattenhofer, OPODIS'15] (a king-protocol variant in the style of
+// Berman-Garay-Perry): a setup stage computes per-party trusted intervals
+// that provably lie inside the honest inputs' range, then t+1 king phases
+// drive the parties to agreement on a value inside some honest interval.
+//
+// Used by the main protocol in two places where inputs are short enough
+// that cubic communication is affordable: agreeing on one block in
+// AddLastBlock (Section 4) and on the block size in Pi_N (Section 5).
+// Standalone, it doubles as the "existing CA protocol" baseline in the
+// benchmarks.
+//
+// Values live in N (arbitrary precision); messages that do not parse as
+// naturals are ignored, implementing the paper's "parties may ignore any
+// values outside N".
+#pragma once
+
+#include "net/sync_network.h"
+#include "util/bignat.h"
+
+namespace coca::ca {
+
+class HighCostCA {
+ public:
+  /// Joins with input in N; returns the agreed value, which lies in the
+  /// convex hull (range) of the honest parties' inputs.
+  BigNat run(net::PartyContext& ctx, const BigNat& input) const;
+};
+
+}  // namespace coca::ca

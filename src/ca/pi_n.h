@@ -1,0 +1,40 @@
+// Pi_N (Section 5, Theorem 5): the final CA protocol for N -- removes the
+// publicly-known-length assumption and dispatches between the two
+// fixed-length protocols.
+//
+// A first bit-BA splits the world by |BITS(v_IN)| <= n^2:
+//   * short regime: the parties agree on an estimate l_EST <= 2 min(l, n^2)
+//     by comparing their lengths against powers of two with O(log n) bit-BAs,
+//     then run FixedLengthCA;
+//   * long regime: they agree on a block size via HighCostCA (cheap: block
+//     sizes have O(log l) bits), set l_EST := BLOCKSIZE' * n^2, then run
+//     FixedLengthCABlocks.
+// In both regimes a party whose value does not fit in l_EST bits substitutes
+// 2^l_EST - 1, which the proof of Theorem 5 shows lies in the honest range.
+//
+// Cost: O(l n + kappa n^2 log^2 n) + O(log n) BITS_k(Pi_BA) bits,
+// O(n) + O(log n) ROUNDS(Pi_BA) rounds.
+#pragma once
+
+#include "ca/fixed_length_ca.h"
+#include "ca/fixed_length_ca_blocks.h"
+#include "util/bignat.h"
+
+namespace coca::ca {
+
+class PiN {
+ public:
+  explicit PiN(ba::BAKit kit)
+      : kit_(kit), fixed_(kit), fixed_blocks_(kit) {}
+
+  /// Joins with any natural number; returns the agreed natural inside the
+  /// honest inputs' range.
+  BigNat run(net::PartyContext& ctx, const BigNat& v_in) const;
+
+ private:
+  ba::BAKit kit_;
+  FixedLengthCA fixed_;
+  FixedLengthCABlocks fixed_blocks_;
+};
+
+}  // namespace coca::ca

@@ -1,0 +1,31 @@
+// Pi_Z (Section 6, Corollaries 1 and 2): Convex Agreement for integers --
+// the paper's headline protocol.
+//
+// Inputs are (-1)^SIGN * v_N. One bit-BA agrees on the output sign; a party
+// whose sign differs from the agreed one substitutes magnitude 0 (always
+// valid: the honest range then straddles or touches zero); Pi_N does the
+// rest on magnitudes.
+//
+// With Pi_BA instantiated by a quadratic-ish deterministic BA this achieves
+// BITS_l(Pi_Z) = O(l n + kappa n^2 log^2 n) and ROUNDS = O(n log n): the
+// first communication-optimal CA for l = Omega(kappa n log^2 n).
+#pragma once
+
+#include "ca/pi_n.h"
+
+namespace coca::ca {
+
+class PiZ {
+ public:
+  explicit PiZ(ba::BAKit kit) : kit_(kit), pi_n_(kit) {}
+
+  /// Joins with any integer; returns the agreed integer inside the honest
+  /// inputs' convex hull.
+  BigInt run(net::PartyContext& ctx, const BigInt& v_in) const;
+
+ private:
+  ba::BAKit kit_;
+  PiN pi_n_;
+};
+
+}  // namespace coca::ca

@@ -1,0 +1,58 @@
+#include "ca/signed_ca.h"
+
+#include <algorithm>
+
+#include "util/wire.h"
+
+namespace coca::ca {
+
+namespace {
+
+Bytes encode_int(const BigInt& v) {
+  Writer w;
+  w.u8(v.sign_bit() ? 1 : 0);
+  w.bignat(v.magnitude());
+  return std::move(w).take();
+}
+
+std::optional<BigInt> decode_int(const Bytes& raw) {
+  Reader r(raw);
+  const auto sign = r.u8();
+  if (!sign || *sign > 1) return std::nullopt;
+  auto mag = r.bignat();
+  if (!mag || !r.at_end()) return std::nullopt;
+  return BigInt(std::move(*mag), *sign == 1);
+}
+
+}  // namespace
+
+BigInt SignedBroadcastCA::run(net::PartyContext& ctx,
+                              const crypto::Signer& signer,
+                              const BigInt& input) const {
+  const int n = ctx.n();
+  const int t = ctx.t();
+  require(2 * t < n, "SignedBroadcastCA: requires t < n/2");
+  auto phase = ctx.phase("SignedBroadcastCA");
+
+  // One authenticated broadcast per party; bottom outcomes (equivocating
+  // or silent corrupted senders) are dropped consistently at every honest
+  // party, so the multisets coincide.
+  std::vector<BigInt> view;
+  const Bytes mine = encode_int(input);
+  for (int sender = 0; sender < n; ++sender) {
+    const auto out = broadcast_.run(
+        ctx, signer, sender,
+        ctx.id() == sender ? std::optional<Bytes>(mine) : std::nullopt);
+    if (!out) continue;
+    if (auto value = decode_int(*out)) view.push_back(std::move(*value));
+  }
+
+  // The (t+1)-th lowest of >= n-t identically-held values: with at most t
+  // corrupted entries and 2t < n, it is bracketed by honest inputs.
+  std::sort(view.begin(), view.end());
+  ensure(view.size() > static_cast<std::size_t>(t),
+         "SignedBroadcastCA: too few broadcasts survived");
+  return view[static_cast<std::size_t>(t)];
+}
+
+}  // namespace coca::ca

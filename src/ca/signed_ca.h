@@ -1,0 +1,35 @@
+// Convex Agreement for t < n/2 with cryptographic setup (paper Section 8's
+// open-problem regime, at the classic non-optimal cost).
+//
+// With a PKI, Dolev-Strong broadcast works for any t < n, and the
+// introduction's "straightforward approach" yields CA up to t < n/2: every
+// party authenticated-broadcasts its input, all honest parties obtain an
+// identical multiset W (|W| >= n - t), and the (t+1)-th lowest element of W
+// lies in the honest inputs' range whenever 2t < n.
+//
+// Cost: O(n^3 (l + n sigma)) bits -- the open problem the paper leaves is
+// achieving O(l n) in this regime; this module provides the baseline that
+// a future communication-optimal t < n/2 protocol would be measured
+// against.
+#pragma once
+
+#include "ba/dolev_strong.h"
+#include "util/bignat.h"
+
+namespace coca::ca {
+
+class SignedBroadcastCA {
+ public:
+  /// `pki` must outlive this object.
+  explicit SignedBroadcastCA(const crypto::SimulatedPki& pki)
+      : broadcast_(pki) {}
+
+  /// Joins with this party's signer and integer input; requires 2t < n.
+  BigInt run(net::PartyContext& ctx, const crypto::Signer& signer,
+             const BigInt& input) const;
+
+ private:
+  ba::DolevStrong broadcast_;
+};
+
+}  // namespace coca::ca

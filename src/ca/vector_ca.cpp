@@ -1,0 +1,19 @@
+#include "ca/vector_ca.h"
+
+namespace coca::ca {
+
+std::vector<BigInt> VectorCA::run(net::PartyContext& ctx,
+                                  const std::vector<BigInt>& input) const {
+  require(!input.empty(), "VectorCA: dimension must be positive");
+  auto phase = ctx.phase("VectorCA");
+  std::vector<BigInt> out;
+  out.reserve(input.size());
+  // One scalar instance per coordinate, sequentially: all honest parties
+  // share d, so the round schedule stays aligned.
+  for (const BigInt& coordinate : input) {
+    out.push_back(scalar_->run(ctx, coordinate));
+  }
+  return out;
+}
+
+}  // namespace coca::ca

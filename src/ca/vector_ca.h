@@ -1,0 +1,37 @@
+// Coordinate-wise Convex Agreement on integer vectors.
+//
+// The CA notion originates in multidimensional Byzantine vector consensus
+// [Vaidya-Garg, PODC'13], which the paper specializes to one dimension.
+// This adapter lifts any scalar CA protocol to Z^d by running it once per
+// coordinate (sequentially, preserving lock-step).
+//
+// Validity caveat, stated precisely: the output lands in the *bounding box*
+// of the honest inputs (per-coordinate interval validity), which is the
+// box-hull, a superset of the convex hull that true multidimensional vector
+// consensus targets. For the separable aggregation workloads the paper's
+// applications cite (gradient aggregation, multi-sensor fusion), interval
+// validity per coordinate is the property actually consumed. Implementing
+// hull-validity for d > 1 requires the Tverberg-point machinery of [50] and
+// n > (d+2)t, outside this paper's scope.
+#pragma once
+
+#include "ca/convex_agreement.h"
+
+namespace coca::ca {
+
+class VectorCA {
+ public:
+  /// `scalar` must outlive this object.
+  explicit VectorCA(const CAProtocol& scalar) : scalar_(&scalar) {}
+
+  /// Joins with a d-dimensional integer vector; all honest parties must use
+  /// the same d. Returns the agreed vector, coordinate-wise inside the
+  /// honest inputs' bounding box.
+  std::vector<BigInt> run(net::PartyContext& ctx,
+                          const std::vector<BigInt>& input) const;
+
+ private:
+  const CAProtocol* scalar_;
+};
+
+}  // namespace coca::ca

@@ -1,0 +1,52 @@
+#include "codec/gf16.h"
+
+namespace coca::codec {
+
+namespace {
+
+// Candidate degree-16 polynomials over GF(2); the constructor verifies
+// primitivity, so an error in this list is caught at startup, not at decode.
+constexpr std::uint32_t kCandidatePolys[] = {
+    0x1100B,  // x^16 + x^12 + x^3 + x + 1
+    0x1002D,  // x^16 + x^5 + x^3 + x^2 + 1
+    0x100B7,  // x^16 + x^7 + x^5 + x^4 + x^2 + x + 1
+};
+
+}  // namespace
+
+GF16::GF16() {
+  for (const std::uint32_t poly : kCandidatePolys) {
+    // Walk powers of alpha = x. If x is a primitive element modulo `poly`,
+    // the walk visits every nonzero element exactly once before returning
+    // to 1 after kOrder steps.
+    bool seen[kOrder + 1] = {};
+    std::uint32_t x = 1;
+    bool ok = true;
+    for (std::size_t i = 0; i < kOrder; ++i) {
+      if (x == 0 || x > 0xFFFF || seen[x]) {
+        ok = false;
+        break;
+      }
+      seen[x] = true;
+      exp_[i] = static_cast<Elem>(x);
+      log_[x] = static_cast<std::uint16_t>(i);
+      x <<= 1;
+      if (x & 0x10000U) x ^= poly;
+    }
+    if (ok && x == 1) {
+      for (std::size_t i = 0; i < kOrder; ++i) exp_[kOrder + i] = exp_[i];
+      return;
+    }
+    // Not primitive: reset and try the next candidate.
+    for (auto& e : exp_) e = 0;
+    for (auto& l : log_) l = 0;
+  }
+  ensure(false, "no primitive polynomial candidate for GF(2^16) validated");
+}
+
+const GF16& GF16::instance() {
+  static const GF16 field;
+  return field;
+}
+
+}  // namespace coca::codec

@@ -1,0 +1,56 @@
+// GF(2^16) arithmetic via log/antilog tables.
+//
+// Field for the Reed-Solomon codes of Section 7: symbols are elements of
+// GF(2^a) with n <= 2^a - 1; a = 16 supports up to 65535 parties. Tables are
+// built once at first use from a verified primitive polynomial (the builder
+// checks that x generates the full multiplicative group, so a wrong constant
+// cannot silently produce a non-field).
+#pragma once
+
+#include <cstdint>
+
+#include "util/common.h"
+
+namespace coca::codec {
+
+class GF16 {
+ public:
+  using Elem = std::uint16_t;
+
+  /// The process-wide field instance (tables built on first call).
+  static const GF16& instance();
+
+  /// Addition == subtraction == XOR in characteristic 2.
+  static constexpr Elem add(Elem a, Elem b) { return a ^ b; }
+
+  Elem mul(Elem a, Elem b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[static_cast<std::size_t>(log_[a]) + log_[b]];
+  }
+
+  Elem inv(Elem a) const {
+    require(a != 0, "GF16::inv: zero has no inverse");
+    return exp_[kOrder - log_[a]];
+  }
+
+  Elem div(Elem a, Elem b) const { return mul(a, inv(b)); }
+
+  /// alpha^i for i in [0, 2*kOrder).
+  Elem exp(std::size_t i) const { return exp_[i % kOrder]; }
+  std::uint16_t log(Elem a) const {
+    require(a != 0, "GF16::log: log of zero");
+    return log_[a];
+  }
+
+  /// Multiplicative group order: 2^16 - 1.
+  static constexpr std::size_t kOrder = 65535;
+
+ private:
+  GF16();
+
+  // exp_ doubled so mul() needs no modular reduction of the exponent sum.
+  Elem exp_[2 * kOrder] = {};
+  std::uint16_t log_[kOrder + 1] = {};
+};
+
+}  // namespace coca::codec

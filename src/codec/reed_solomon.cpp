@@ -1,0 +1,144 @@
+#include "codec/reed_solomon.h"
+
+#include <algorithm>
+
+namespace coca::codec {
+
+namespace {
+
+using Elem = GF16::Elem;
+
+// Evaluates all k Lagrange basis polynomials through the distinct points
+// `xs` at the point `p`: out[j] = L_j(p).
+std::vector<Elem> lagrange_row(const GF16& f, const std::vector<Elem>& xs,
+                               Elem p) {
+  const std::size_t k = xs.size();
+  std::vector<Elem> out(k, 0);
+  // If p coincides with a node, the basis row is a unit vector.
+  for (std::size_t j = 0; j < k; ++j) {
+    if (xs[j] == p) {
+      out[j] = 1;
+      return out;
+    }
+  }
+  // N = prod_m (p - x_m); all factors nonzero here.
+  Elem num = 1;
+  for (const Elem x : xs) num = f.mul(num, GF16::add(p, x));
+  for (std::size_t j = 0; j < k; ++j) {
+    Elem den = GF16::add(p, xs[j]);  // (p - x_j)
+    for (std::size_t m = 0; m < k; ++m) {
+      if (m != j) den = f.mul(den, GF16::add(xs[j], xs[m]));
+    }
+    out[j] = f.div(num, den);
+  }
+  return out;
+}
+
+Elem load_symbol(const Bytes& data, std::size_t sym_index) {
+  const std::size_t off = 2 * sym_index;
+  Elem v = 0;
+  if (off < data.size()) v = static_cast<Elem>(data[off]) << 8;
+  if (off + 1 < data.size()) v |= data[off + 1];
+  return v;
+}
+
+void store_symbol(Bytes& data, std::size_t sym_index, Elem v) {
+  const std::size_t off = 2 * sym_index;
+  if (off < data.size()) data[off] = static_cast<std::uint8_t>(v >> 8);
+  if (off + 1 < data.size()) data[off + 1] = static_cast<std::uint8_t>(v);
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(std::size_t n, std::size_t k) : n_(n), k_(k) {
+  require(k >= 1 && k <= n && n <= GF16::kOrder,
+          "ReedSolomon: need 1 <= k <= n <= 65535");
+  const GF16& f = GF16::instance();
+  std::vector<Elem> nodes(k);
+  for (std::size_t j = 0; j < k; ++j) nodes[j] = static_cast<Elem>(j);
+  parity_.reserve(n - k);
+  for (std::size_t i = k; i < n; ++i) {
+    parity_.push_back(lagrange_row(f, nodes, static_cast<Elem>(i)));
+  }
+}
+
+std::vector<Bytes> ReedSolomon::encode(const Bytes& data) const {
+  const GF16& f = GF16::instance();
+  const std::size_t ssize = share_size(data.size());
+  const std::size_t chunks = ssize / 2;
+  std::vector<Bytes> shares(n_, Bytes(ssize, 0));
+
+  std::vector<Elem> chunk(k_);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t j = 0; j < k_; ++j) {
+      chunk[j] = load_symbol(data, c * k_ + j);
+      // Systematic part: share j carries data symbol j of each chunk.
+      store_symbol(shares[j], c, chunk[j]);
+    }
+    for (std::size_t r = 0; r < n_ - k_; ++r) {
+      const std::vector<Elem>& row = parity_[r];
+      Elem acc = 0;
+      for (std::size_t j = 0; j < k_; ++j) {
+        acc = GF16::add(acc, f.mul(row[j], chunk[j]));
+      }
+      store_symbol(shares[k_ + r], c, acc);
+    }
+  }
+  return shares;
+}
+
+std::optional<Bytes> ReedSolomon::decode(
+    const std::vector<std::pair<std::size_t, Bytes>>& shares,
+    std::size_t data_size) const {
+  const GF16& f = GF16::instance();
+  const std::size_t ssize = share_size(data_size);
+  const std::size_t chunks = ssize / 2;
+
+  // Select the first k usable shares with distinct in-range indices.
+  std::vector<const Bytes*> use(k_, nullptr);
+  std::vector<Elem> xs;
+  xs.reserve(k_);
+  std::vector<bool> taken(n_, false);
+  std::vector<std::size_t> order;
+  order.reserve(k_);
+  for (const auto& [idx, bytes] : shares) {
+    if (idx >= n_ || taken[idx] || bytes.size() != ssize) continue;
+    taken[idx] = true;
+    order.push_back(idx);
+    xs.push_back(static_cast<Elem>(idx));
+    if (order.size() == k_) break;
+  }
+  if (order.size() < k_) return std::nullopt;
+  // Map share index -> payload pointer in selection order.
+  std::vector<const Bytes*> payload(k_);
+  for (std::size_t j = 0; j < k_; ++j) {
+    for (const auto& [idx, bytes] : shares) {
+      if (idx == order[j] && bytes.size() == ssize) {
+        payload[j] = &bytes;
+        break;
+      }
+    }
+  }
+
+  // Interpolation rows for the k systematic target points.
+  std::vector<std::vector<Elem>> rows(k_);
+  for (std::size_t p = 0; p < k_; ++p) {
+    rows[p] = lagrange_row(f, xs, static_cast<Elem>(p));
+  }
+
+  Bytes out(data_size, 0);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    for (std::size_t p = 0; p < k_; ++p) {
+      const std::size_t sym = c * k_ + p;
+      if (2 * sym >= data_size) break;
+      Elem acc = 0;
+      for (std::size_t j = 0; j < k_; ++j) {
+        acc = GF16::add(acc, f.mul(rows[p][j], load_symbol(*payload[j], c)));
+      }
+      store_symbol(out, sym, acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace coca::codec

@@ -1,0 +1,41 @@
+#include "crypto/sim_signatures.h"
+
+#include "util/wire.h"
+
+namespace coca::crypto {
+
+namespace {
+constexpr std::uint8_t kSigTag = 0x53;  // domain separation: 'S'
+}  // namespace
+
+Signature Signer::sign(std::span<const std::uint8_t> message) const {
+  Sha256 ctx;
+  ctx.update(std::span<const std::uint8_t>(&kSigTag, 1));
+  ctx.update(std::span<const std::uint8_t>(secret_.data(), secret_.size()));
+  ctx.update(message);
+  return ctx.finish();
+}
+
+SimulatedPki::SimulatedPki(int n, std::uint64_t seed) {
+  require(n >= 1, "SimulatedPki: need at least one party");
+  secrets_.reserve(static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    Writer w;
+    w.u64(seed);
+    w.u32(static_cast<std::uint32_t>(id));
+    secrets_.push_back(sha256(w.peek()));
+  }
+}
+
+Signer SimulatedPki::signer(int id) const {
+  require(id >= 0 && id < n(), "SimulatedPki::signer: bad id");
+  return Signer(id, secrets_[static_cast<std::size_t>(id)]);
+}
+
+bool SimulatedPki::verify(int id, std::span<const std::uint8_t> message,
+                          const Signature& signature) const {
+  if (id < 0 || id >= n()) return false;
+  return signer(id).sign(message) == signature;
+}
+
+}  // namespace coca::crypto

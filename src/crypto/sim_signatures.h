@@ -1,0 +1,53 @@
+// Simulated digital signatures (trusted-setup stand-in).
+//
+// The paper's closing open problems include "the synchronous model with
+// t < n/2 corruptions assuming cryptographic setup". The setup this enables
+// is a PKI; for a simulator, unforgeability only needs to hold against the
+// in-simulation adversaries (scripted strategies manipulate observed bytes,
+// protocol-running corruptions hold only their own signer), so a keyed-hash
+// construction suffices: sig = H(tag || secret_i || message), with
+// verification by recomputation inside the PKI object that owns all
+// secrets. This models an idealized EUF-CMA scheme with zero-cost
+// verification; byte sizes (32-byte signatures) match a real scheme's
+// order of magnitude so communication metering stays meaningful.
+#pragma once
+
+#include "crypto/sha256.h"
+
+namespace coca::crypto {
+
+using Signature = std::array<std::uint8_t, 32>;
+
+/// A party's signing capability. Handed out at setup time; holding a
+/// Signer for id i is what "being party i" means cryptographically.
+class Signer {
+ public:
+  int id() const { return id_; }
+  Signature sign(std::span<const std::uint8_t> message) const;
+
+ private:
+  friend class SimulatedPki;
+  Signer(int id, const Digest& secret) : id_(id), secret_(secret) {}
+  int id_;
+  Digest secret_;
+};
+
+/// The trusted setup: derives one secret per party from a seed and
+/// verifies signatures by recomputation.
+class SimulatedPki {
+ public:
+  SimulatedPki(int n, std::uint64_t seed);
+
+  int n() const { return narrow<int>(secrets_.size()); }
+
+  /// The signer for party `id` (call once per party during setup).
+  Signer signer(int id) const;
+
+  bool verify(int id, std::span<const std::uint8_t> message,
+              const Signature& signature) const;
+
+ private:
+  std::vector<Digest> secrets_;
+};
+
+}  // namespace coca::crypto

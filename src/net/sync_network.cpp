@@ -1,0 +1,388 @@
+#include "net/sync_network.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+
+namespace coca::net {
+
+namespace {
+
+/// Thrown into protocol code to unwind runner threads when the controller
+/// aborts a run. Deliberately outside the coca::Error hierarchy so protocol
+/// code cannot accidentally swallow it.
+struct AbortSignal {};
+
+}  // namespace
+
+std::vector<Envelope> first_per_sender(const std::vector<Envelope>& inbox) {
+  std::vector<Envelope> out;
+  out.reserve(inbox.size());
+  int last_from = -1;
+  for (const Envelope& e : inbox) {  // inbox is ordered by sender id
+    if (e.from != last_from) {
+      out.push_back(e);
+      last_from = e.from;
+    }
+  }
+  return out;
+}
+
+struct SyncNetwork::Runner {
+  int party = -1;
+  bool honest = false;  // counts toward honest cost metrics
+  // Split-brain recipient filter; nullopt = may talk to everyone.
+  std::optional<std::set<int>> allowed;
+  ProtocolFn fn;
+  std::unique_ptr<PartyContext> ctx;
+  std::thread thread;
+
+  enum class State { Ready, Running, AtBarrier, Finished };
+  State state = State::Ready;           // guarded by Impl::mu
+  std::size_t parked_gen = 0;           // generation this runner waits on
+  std::exception_ptr error;             // guarded by Impl::mu
+  std::vector<Envelope> inbox_next;     // written by controller pre-release
+
+  // Runner-local staging and metrics: written by the runner thread while
+  // Running, read by the controller only while the runner is blocked at the
+  // barrier or finished (the barrier mutex orders these accesses).
+  struct Staged {
+    int to;
+    Bytes payload;
+  };
+  std::vector<Staged> outbox;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_sent = 0;
+  std::vector<std::string> phase_stack;
+  std::map<std::string, std::uint64_t> phase_bytes;
+};
+
+struct SyncNetwork::Scripted {
+  int party = -1;
+  std::shared_ptr<ByzantineStrategy> strategy;
+  std::vector<Envelope> inbox;
+  std::uint64_t bytes_sent = 0;
+  Rng rng{0};
+};
+
+struct SyncNetwork::Impl {
+  std::mutex mu;
+  std::condition_variable cv_runner;  // runners wait for round release
+  std::condition_variable cv_ctrl;    // controller waits for arrivals
+  std::size_t gen = 0;                // round generation counter
+  bool abort = false;
+
+  std::vector<std::unique_ptr<Runner>> runners;
+  std::vector<std::unique_ptr<Scripted>> scripted;
+  std::vector<int> role_of_party;  // 0 = unset, 1 = honest, 2 = byzantine
+};
+
+SyncNetwork::SyncNetwork(int n, int t) : n_(n), t_(t) {
+  require(n >= 1 && t >= 0 && t < n, "SyncNetwork: need 0 <= t < n");
+  impl_ = std::make_unique<Impl>();
+  impl_->role_of_party.assign(static_cast<std::size_t>(n), 0);
+}
+
+SyncNetwork::~SyncNetwork() {
+  // run() joins all threads; if run() was never called, no threads exist.
+  for (auto& r : impl_->runners) {
+    ensure(!r->thread.joinable(), "SyncNetwork destroyed with live threads");
+  }
+}
+
+int PartyContext::n() const { return net_.n(); }
+int PartyContext::t() const { return net_.t(); }
+
+void PartyContext::send(int to, Bytes payload) {
+  net_.runner_send(runner_, to, std::move(payload));
+}
+
+void PartyContext::send_all(const Bytes& payload) {
+  for (int to = 0; to < n(); ++to) send(to, payload);
+}
+
+std::vector<Envelope> PartyContext::advance() {
+  return net_.runner_advance(runner_);
+}
+
+PartyContext::PhaseScope::PhaseScope(PartyContext& ctx, std::string name)
+    : ctx_(ctx) {
+  ctx_.net_.runner_push_phase(ctx_.runner_, std::move(name));
+}
+
+PartyContext::PhaseScope::~PhaseScope() {
+  ctx_.net_.runner_pop_phase(ctx_.runner_);
+}
+
+namespace {
+std::uint64_t context_seed(int party, std::size_t runner_index) {
+  return 0x5EEDC0CA00000000ULL ^ (static_cast<std::uint64_t>(party) << 16) ^
+         runner_index;
+}
+}  // namespace
+
+void SyncNetwork::set_honest(int id, ProtocolFn fn) {
+  require(id >= 0 && id < n_ && impl_->role_of_party[id] == 0,
+          "SyncNetwork::set_honest: bad or already-assigned id");
+  impl_->role_of_party[id] = 1;
+  auto r = std::make_unique<Runner>();
+  r->party = id;
+  r->honest = true;
+  r->fn = std::move(fn);
+  const std::size_t idx = impl_->runners.size();
+  r->ctx.reset(new PartyContext(*this, idx, id, context_seed(id, idx)));
+  impl_->runners.push_back(std::move(r));
+}
+
+void SyncNetwork::set_byzantine(int id,
+                                std::shared_ptr<ByzantineStrategy> strategy) {
+  require(id >= 0 && id < n_ && impl_->role_of_party[id] == 0,
+          "SyncNetwork::set_byzantine: bad or already-assigned id");
+  impl_->role_of_party[id] = 2;
+  auto s = std::make_unique<Scripted>();
+  s->party = id;
+  s->strategy = std::move(strategy);
+  s->rng = Rng(context_seed(id, 0xB52));
+  impl_->scripted.push_back(std::move(s));
+}
+
+void SyncNetwork::set_byzantine_protocol(int id, ProtocolFn fn) {
+  require(id >= 0 && id < n_ && impl_->role_of_party[id] == 0,
+          "SyncNetwork::set_byzantine_protocol: bad or already-assigned id");
+  impl_->role_of_party[id] = 2;
+  auto r = std::make_unique<Runner>();
+  r->party = id;
+  r->honest = false;
+  r->fn = std::move(fn);
+  const std::size_t idx = impl_->runners.size();
+  r->ctx.reset(new PartyContext(*this, idx, id, context_seed(id, idx)));
+  impl_->runners.push_back(std::move(r));
+}
+
+void SyncNetwork::set_split_brain(int id, ProtocolFn a, ProtocolFn b,
+                                  std::set<int> recipients_of_a) {
+  require(id >= 0 && id < n_ && impl_->role_of_party[id] == 0,
+          "SyncNetwork::set_split_brain: bad or already-assigned id");
+  impl_->role_of_party[id] = 2;
+  std::set<int> recipients_of_b;
+  for (int p = 0; p < n_; ++p) {
+    if (!recipients_of_a.contains(p)) recipients_of_b.insert(p);
+  }
+  for (int half = 0; half < 2; ++half) {
+    auto r = std::make_unique<Runner>();
+    r->party = id;
+    r->honest = false;
+    r->allowed = half == 0 ? recipients_of_a : recipients_of_b;
+    r->fn = half == 0 ? std::move(a) : std::move(b);
+    const std::size_t idx = impl_->runners.size();
+    r->ctx.reset(new PartyContext(*this, idx, id, context_seed(id, idx)));
+    impl_->runners.push_back(std::move(r));
+  }
+}
+
+void SyncNetwork::runner_send(std::size_t runner_index, int to, Bytes payload) {
+  Runner& r = *impl_->runners[runner_index];
+  require(to >= 0 && to < n_, "PartyContext::send: recipient out of range");
+  if (r.allowed && !r.allowed->contains(to)) return;  // split-brain filter
+  r.bytes_sent += payload.size();
+  r.messages_sent += 1;
+  for (const std::string& name : r.phase_stack) {
+    r.phase_bytes[name] += payload.size();
+  }
+  r.outbox.push_back({to, std::move(payload)});
+}
+
+void SyncNetwork::runner_push_phase(std::size_t runner_index,
+                                    std::string name) {
+  impl_->runners[runner_index]->phase_stack.push_back(std::move(name));
+}
+
+void SyncNetwork::runner_pop_phase(std::size_t runner_index) {
+  auto& stack = impl_->runners[runner_index]->phase_stack;
+  ensure(!stack.empty(), "phase pop without matching push");
+  stack.pop_back();
+}
+
+std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
+  Runner& r = *impl_->runners[runner_index];
+  std::unique_lock lk(impl_->mu);
+  r.state = Runner::State::AtBarrier;
+  r.parked_gen = impl_->gen;
+  const std::size_t my_gen = impl_->gen;
+  impl_->cv_ctrl.notify_all();
+  impl_->cv_runner.wait(
+      lk, [&] { return impl_->gen != my_gen || impl_->abort; });
+  if (impl_->abort) throw AbortSignal{};
+  r.state = Runner::State::Running;
+  return std::exchange(r.inbox_next, {});
+}
+
+RunStats SyncNetwork::run(std::size_t max_rounds) {
+  Impl& im = *impl_;
+  for (int p = 0; p < n_; ++p) {
+    require(im.role_of_party[p] != 0,
+            "SyncNetwork::run: every party needs a role before running");
+  }
+
+  // Launch runner threads.
+  for (auto& rp : im.runners) {
+    Runner& r = *rp;
+    r.thread = std::thread([this, &r] {
+      try {
+        r.fn(*r.ctx);
+      } catch (const AbortSignal&) {
+        // Controller-initiated unwind; not an error.
+      } catch (...) {
+        std::lock_guard lk(impl_->mu);
+        r.error = std::current_exception();
+      }
+      std::lock_guard lk(impl_->mu);
+      r.state = Runner::State::Finished;
+      impl_->cv_ctrl.notify_all();
+    });
+  }
+
+  std::size_t rounds = 0;
+  std::exception_ptr failure;
+  std::string failure_reason;
+
+  {
+    std::unique_lock lk(im.mu);
+    const auto all_parked = [&] {
+      return std::all_of(im.runners.begin(), im.runners.end(), [&](auto& r) {
+        return r->state == Runner::State::Finished ||
+               (r->state == Runner::State::AtBarrier &&
+                r->parked_gen == im.gen);
+      });
+    };
+    const auto all_finished = [&] {
+      return std::all_of(im.runners.begin(), im.runners.end(), [](auto& r) {
+        return r->state == Runner::State::Finished;
+      });
+    };
+
+    for (;;) {
+      // Watchdog: a round that takes this long means livelock in protocol
+      // code (all legitimate rounds are short bursts of local compute).
+      if (!im.cv_ctrl.wait_for(lk, std::chrono::seconds(300), all_parked)) {
+        failure_reason = "SyncNetwork: round stalled (watchdog)";
+        break;
+      }
+      for (auto& r : im.runners) {
+        if (r->error && !failure) failure = r->error;
+      }
+      if (failure) break;
+      if (all_finished()) break;
+      if (rounds >= max_rounds) {
+        failure_reason = "SyncNetwork: max round count exceeded";
+        break;
+      }
+
+      // ---- Deliver one round. All runners are parked; their outboxes and
+      // metrics are safe to touch from here.
+      struct Triplet {
+        int from;
+        int to;
+        Bytes payload;
+      };
+      std::vector<Triplet> wire;
+      std::vector<RoundView::Sent> honest_traffic;
+      for (auto& r : im.runners) {
+        for (auto& staged : r->outbox) {
+          wire.push_back({r->party, staged.to, std::move(staged.payload)});
+        }
+        r->outbox.clear();
+      }
+      for (const Triplet& m : wire) {
+        honest_traffic.push_back({m.from, m.to, &m.payload});
+      }
+      // Scripted byzantine parties act last within the round (rushing).
+      // Their sends are staged separately: honest_traffic points into `wire`,
+      // which must stay unmodified while strategies run.
+      std::vector<Triplet> byz_wire;
+      for (auto& s : im.scripted) {
+        RoundView view;
+        view.round = rounds;
+        view.self = s->party;
+        view.n = n_;
+        view.t = t_;
+        view.inbox = &s->inbox;
+        view.honest_traffic = &honest_traffic;
+        view.rng = &s->rng;
+        s->strategy->on_round(view, [&](int to, Bytes payload) {
+          require(to >= 0 && to < n_,
+                  "ByzantineStrategy sent to out-of-range recipient");
+          s->bytes_sent += payload.size();
+          byz_wire.push_back({s->party, to, std::move(payload)});
+        });
+      }
+      for (auto& m : byz_wire) wire.push_back(std::move(m));
+
+      // Route, ordered by sender id (stable within a sender).
+      std::stable_sort(wire.begin(), wire.end(),
+                       [](const Triplet& a, const Triplet& b) {
+                         return a.from < b.from;
+                       });
+      std::vector<std::vector<Envelope>> runner_inbox(im.runners.size());
+      std::vector<std::vector<Envelope>> scripted_inbox(im.scripted.size());
+      for (const Triplet& m : wire) {
+        for (std::size_t i = 0; i < im.runners.size(); ++i) {
+          if (im.runners[i]->party == m.to) {
+            runner_inbox[i].push_back({m.from, m.payload});
+          }
+        }
+        for (std::size_t i = 0; i < im.scripted.size(); ++i) {
+          if (im.scripted[i]->party == m.to) {
+            scripted_inbox[i].push_back({m.from, m.payload});
+          }
+        }
+      }
+      for (std::size_t i = 0; i < im.runners.size(); ++i) {
+        im.runners[i]->inbox_next = std::move(runner_inbox[i]);
+      }
+      for (std::size_t i = 0; i < im.scripted.size(); ++i) {
+        im.scripted[i]->inbox = std::move(scripted_inbox[i]);
+      }
+
+      ++rounds;
+      ++im.gen;
+      im.cv_runner.notify_all();
+    }
+
+    if (failure || !failure_reason.empty()) {
+      im.abort = true;
+      ++im.gen;
+      im.cv_runner.notify_all();
+    }
+  }
+
+  for (auto& r : im.runners) {
+    if (r->thread.joinable()) r->thread.join();
+  }
+  if (failure) std::rethrow_exception(failure);
+  if (!failure_reason.empty()) throw Error(failure_reason.c_str());
+
+  RunStats stats;
+  stats.rounds = rounds;
+  stats.bytes_by_party.assign(static_cast<std::size_t>(n_), 0);
+  for (const auto& r : im.runners) {
+    stats.bytes_by_party[static_cast<std::size_t>(r->party)] += r->bytes_sent;
+    if (r->honest) {
+      stats.honest_bytes += r->bytes_sent;
+      stats.honest_messages += r->messages_sent;
+      for (const auto& [name, bytes] : r->phase_bytes) {
+        stats.honest_bytes_by_phase[name] += bytes;
+      }
+    }
+  }
+  for (const auto& s : im.scripted) {
+    stats.bytes_by_party[static_cast<std::size_t>(s->party)] += s->bytes_sent;
+  }
+  return stats;
+}
+
+}  // namespace coca::net

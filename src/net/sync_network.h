@@ -1,0 +1,189 @@
+// Lock-step synchronous network simulator.
+//
+// Models the paper's communication setting: n parties, fully connected,
+// authenticated channels (receivers learn the true sender id), synchronous
+// rounds (every message sent in round r is delivered at the end of round r).
+// Up to t parties are byzantine; the adversary is *rushing* -- byzantine
+// parties observe all honest round-r messages before choosing their own
+// round-r messages, the strongest scheduling the synchronous model allows.
+//
+// Honest parties run protocol code as straight-line functions on dedicated
+// threads; `PartyContext::advance()` is the round barrier. This lets the
+// implementation mirror the paper's pseudocode one statement at a time.
+// Deterministic: inboxes are ordered by sender id, and honest control flow
+// depends only on agreed values.
+//
+// Byzantine parties come in three flavours:
+//  * scripted strategies (`ByzantineStrategy`) that fabricate arbitrary bytes,
+//  * protocol-running corruptions (honest code with an adversarial input),
+//  * split-brain equivocators: two honest protocol instances behind one wire
+//    id, each talking to a disjoint subset of recipients.
+//
+// The simulator meters bytes and messages per party and per named protocol
+// phase; "honest bits" is the paper's BITS_l cost measure.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "util/common.h"
+#include "util/rng.h"
+
+namespace coca::net {
+
+/// A delivered message with its authenticated sender.
+struct Envelope {
+  int from = -1;
+  Bytes payload;
+};
+
+/// Keeps the first message of each sender, in sender-id order. Protocol
+/// steps of the paper implicitly assume one message per sender per round;
+/// duplicates are a byzantine artefact and are ignored deterministically.
+std::vector<Envelope> first_per_sender(const std::vector<Envelope>& inbox);
+
+class SyncNetwork;
+
+/// Handle through which protocol code talks to the network. One per running
+/// protocol instance (a split-brain corruption owns two).
+class PartyContext {
+ public:
+  PartyContext(const PartyContext&) = delete;
+  PartyContext& operator=(const PartyContext&) = delete;
+
+  int id() const { return party_; }
+  int n() const;
+  int t() const;
+
+  /// Stage a message to party `to` (0-based) for delivery at this round's end.
+  void send(int to, Bytes payload);
+  /// Stage the same message to all n parties (including self).
+  void send_all(const Bytes& payload);
+
+  /// Ends the current round: blocks until all parties advance, then returns
+  /// every message addressed to this party in the round just ended, ordered
+  /// by sender id.
+  std::vector<Envelope> advance();
+
+  /// RAII scope attributing all bytes sent while open to `name`
+  /// (in addition to any enclosing phases).
+  class PhaseScope {
+   public:
+    explicit PhaseScope(PartyContext& ctx, std::string name);
+    ~PhaseScope();
+    PhaseScope(const PhaseScope&) = delete;
+    PhaseScope& operator=(const PhaseScope&) = delete;
+
+   private:
+    PartyContext& ctx_;
+  };
+  PhaseScope phase(std::string name) { return PhaseScope(*this, std::move(name)); }
+
+  /// Per-instance deterministic RNG (used by adversarial/protocol-running
+  /// corruptions and examples; honest protocol logic never draws from it).
+  Rng& rng() { return rng_; }
+
+ private:
+  friend class SyncNetwork;
+  PartyContext(SyncNetwork& net, std::size_t runner_index, int party,
+               std::uint64_t seed)
+      : net_(net), runner_(runner_index), party_(party), rng_(seed) {}
+
+  SyncNetwork& net_;
+  std::size_t runner_;  // index into the network's runner table
+  int party_;
+  Rng rng_;
+};
+
+/// What a scripted byzantine strategy sees each round.
+struct RoundView {
+  std::size_t round = 0;
+  int self = -1;
+  int n = 0;
+  int t = 0;
+  /// Messages delivered to this byzantine party this round.
+  const std::vector<Envelope>* inbox = nullptr;
+  struct Sent {
+    int from;
+    int to;
+    const Bytes* payload;
+  };
+  /// Rushing adversary: all honest traffic of the *current* round.
+  const std::vector<Sent>* honest_traffic = nullptr;
+  Rng* rng = nullptr;
+};
+
+/// A scripted byzantine corruption: invoked once per round, after all honest
+/// parties committed their round messages, and may send arbitrary bytes.
+class ByzantineStrategy {
+ public:
+  virtual ~ByzantineStrategy() = default;
+  virtual void on_round(const RoundView& view,
+                        const std::function<void(int, Bytes)>& send) = 0;
+};
+
+/// Aggregated cost of one protocol execution.
+struct RunStats {
+  std::size_t rounds = 0;
+  std::uint64_t honest_bytes = 0;
+  std::uint64_t honest_messages = 0;
+  std::vector<std::uint64_t> bytes_by_party;
+  std::map<std::string, std::uint64_t> honest_bytes_by_phase;
+
+  /// The paper's BITS_l measure: total bits sent by honest parties.
+  std::uint64_t honest_bits() const { return honest_bytes * 8; }
+};
+
+class SyncNetwork {
+ public:
+  using ProtocolFn = std::function<void(PartyContext&)>;
+
+  /// `n` parties with resilience threshold `t` (protocols assume t < n/3;
+  /// the simulator itself only requires 0 <= t < n).
+  SyncNetwork(int n, int t);
+  ~SyncNetwork();
+  SyncNetwork(const SyncNetwork&) = delete;
+  SyncNetwork& operator=(const SyncNetwork&) = delete;
+
+  /// Installs honest protocol code for party `id`.
+  void set_honest(int id, ProtocolFn fn);
+  /// Installs a scripted byzantine corruption.
+  void set_byzantine(int id, std::shared_ptr<ByzantineStrategy> strategy);
+  /// Byzantine party that runs protocol code (e.g. with an extreme input);
+  /// its traffic is excluded from honest cost metrics.
+  void set_byzantine_protocol(int id, ProtocolFn fn);
+  /// Split-brain equivocator: instance A talks to `recipients_of_a`,
+  /// instance B to everyone else. Both see all messages addressed to `id`.
+  void set_split_brain(int id, ProtocolFn a, ProtocolFn b,
+                       std::set<int> recipients_of_a);
+
+  /// Runs to completion (all protocol-running parties returned).
+  /// Throws if any honest party threw, or if `max_rounds` is exceeded.
+  RunStats run(std::size_t max_rounds = kDefaultMaxRounds);
+
+  static constexpr std::size_t kDefaultMaxRounds = 2'000'000;
+
+  int n() const { return n_; }
+  int t() const { return t_; }
+
+ private:
+  friend class PartyContext;
+  struct Runner;
+  struct Scripted;
+  struct Impl;
+
+  void runner_send(std::size_t runner_index, int to, Bytes payload);
+  std::vector<Envelope> runner_advance(std::size_t runner_index);
+  void runner_push_phase(std::size_t runner_index, std::string name);
+  void runner_pop_phase(std::size_t runner_index);
+
+  int n_;
+  int t_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace coca::net

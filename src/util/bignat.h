@@ -1,0 +1,104 @@
+// Arbitrary-precision naturals and integers (built from scratch).
+//
+// The paper's inputs are integers v = (-1)^sign * v_N with v_N in N of up to
+// l bits, where l may be huge (the headline regime is l = Omega(kappa n
+// log^2 n), i.e. hundreds of kilobits). `BigNat` is an unsigned magnitude
+// (little-endian 64-bit limbs); `BigInt` adds a sign, matching the paper's
+// (-1)^SIGN * v_N representation used by Pi_Z.
+//
+// Only the operations the protocols, examples, and benches need are provided:
+// comparison, bit-length, conversion to/from BITS_l bitstrings and decimal
+// strings, and basic arithmetic for workload generation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/bitstring.h"
+#include "util/common.h"
+
+namespace coca {
+
+class BigNat {
+ public:
+  /// Zero.
+  BigNat() = default;
+  /// From a machine integer.
+  explicit BigNat(std::uint64_t v);
+
+  /// Parse a base-10 string of digits.
+  static BigNat from_decimal(std::string_view s);
+  /// VAL(bits): the natural number an MSB-first bitstring represents.
+  static BigNat from_bits(const Bitstring& bits);
+  /// 2^k - 1 (the paper's "all ones" fallback value).
+  static BigNat max_with_bits(std::size_t k);
+  /// 2^k.
+  static BigNat pow2(std::size_t k);
+
+  /// |BITS(v)|: length of the minimal binary representation; 0 for v == 0.
+  std::size_t bit_length() const;
+  /// BITS_l(v): the l-bit representation. Throws if bit_length() > l.
+  Bitstring to_bits(std::size_t ell) const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  /// Value as u64; throws if it does not fit.
+  std::uint64_t to_u64() const;
+
+  std::strong_ordering operator<=>(const BigNat& o) const;
+  bool operator==(const BigNat& o) const = default;
+
+  BigNat operator+(const BigNat& o) const;
+  /// Subtraction; throws if o > *this (naturals are not closed under -).
+  BigNat operator-(const BigNat& o) const;
+  BigNat operator*(const BigNat& o) const;
+  BigNat operator<<(std::size_t bits) const;
+  BigNat operator>>(std::size_t bits) const;
+
+  /// Divide by a small divisor; returns quotient, sets `rem`.
+  BigNat div_u32(std::uint32_t divisor, std::uint32_t& rem) const;
+
+  std::string to_decimal() const;
+
+  /// Little-endian limbs, no trailing zero limb. Exposed for tests/hashing.
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+ private:
+  void trim();
+  std::vector<std::uint64_t> limbs_;  // little-endian, canonical (no top zeros)
+};
+
+/// Signed arbitrary-precision integer as (-1)^negative * magnitude,
+/// with the invariant that zero is never negative.
+class BigInt {
+ public:
+  BigInt() = default;
+  BigInt(BigNat magnitude, bool negative)
+      : mag_(std::move(magnitude)), neg_(negative && !mag_.is_zero()) {}
+  explicit BigInt(std::int64_t v);
+
+  /// Parse base-10, optional leading '-'.
+  static BigInt from_decimal(std::string_view s);
+
+  const BigNat& magnitude() const { return mag_; }
+  bool negative() const { return neg_; }
+  /// The paper's SIGN in {0,1}: 1 iff negative.
+  bool sign_bit() const { return neg_; }
+
+  std::strong_ordering operator<=>(const BigInt& o) const;
+  bool operator==(const BigInt& o) const = default;
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator-() const { return BigInt(mag_, !neg_); }
+
+  std::string to_decimal() const;
+
+ private:
+  BigNat mag_;
+  bool neg_ = false;
+};
+
+}  // namespace coca

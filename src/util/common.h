@@ -1,0 +1,68 @@
+// Common foundation types for the coca library.
+//
+// coca reproduces "Communication-Optimal Convex Agreement" (Ghinea,
+// Liu-Zhang, Wattenhofer; PODC'24). Everything above this header speaks in
+// terms of `Bytes` payloads and throws `coca::Error` on contract violations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace coca {
+
+/// Raw message / value payload. All wire traffic is a `Bytes`.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Base error for all coca failures (contract violations, protocol aborts).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws `Error` when `cond` is false. Used for API precondition checks.
+inline void require(bool cond, const char* msg) {
+  if (!cond) throw Error(msg);
+}
+
+/// Internal invariant check. Semantically an assert that is always on:
+/// a failure indicates a bug in coca itself, not bad input.
+inline void ensure(bool cond, const char* msg) {
+  if (!cond) throw std::logic_error(std::string("coca internal error: ") + msg);
+}
+
+/// Checked narrowing conversion (throws on value change), cf. gsl::narrow.
+template <class To, class From>
+To narrow(From v) {
+  const To r = static_cast<To>(v);
+  if (static_cast<From>(r) != v || ((r < To{}) != (v < From{}))) {
+    throw Error("narrowing conversion lost information");
+  }
+  return r;
+}
+
+/// Ceiling division for non-negative integers.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) {
+  return (a + b - 1) / b;
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr std::size_t floor_log2(std::size_t x) {
+  std::size_t r = 0;
+  while (x > 1) {
+    x >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// ceil(log2(x)) for x >= 1 (returns 0 for x == 1).
+constexpr std::size_t ceil_log2(std::size_t x) {
+  if (x <= 1) return 0;
+  return floor_log2(x - 1) + 1;
+}
+
+}  // namespace coca

@@ -1,0 +1,43 @@
+#include "util/fixed_point.h"
+
+namespace coca {
+
+FixedPoint FixedPoint::parse(std::string_view text, unsigned frac_digits) {
+  require(!text.empty(), "FixedPoint::parse: empty string");
+  bool negative = false;
+  if (text.front() == '-') {
+    negative = true;
+    text.remove_prefix(1);
+  }
+  const auto dot = text.find('.');
+  std::string int_part(dot == std::string_view::npos ? text
+                                                     : text.substr(0, dot));
+  std::string frac_part(dot == std::string_view::npos
+                            ? std::string_view{}
+                            : text.substr(dot + 1));
+  require(!int_part.empty() || !frac_part.empty(),
+          "FixedPoint::parse: no digits");
+  require(frac_part.size() <= frac_digits,
+          "FixedPoint::parse: more fractional digits than the precision");
+  frac_part.append(frac_digits - frac_part.size(), '0');
+  if (int_part.empty()) int_part = "0";
+  const std::string all = int_part + frac_part;
+  return FixedPoint(BigInt(BigNat::from_decimal(all), negative), frac_digits);
+}
+
+std::string FixedPoint::to_string() const {
+  std::string digits = scaled_.magnitude().to_decimal();
+  if (digits.size() <= digits_) {
+    digits.insert(0, digits_ - digits.size() + 1, '0');
+  }
+  std::string out;
+  if (scaled_.negative()) out.push_back('-');
+  out.append(digits, 0, digits.size() - digits_);
+  if (digits_ > 0) {
+    out.push_back('.');
+    out.append(digits, digits.size() - digits_, digits_);
+  }
+  return out;
+}
+
+}  // namespace coca

@@ -1,0 +1,49 @@
+// Decimal fixed-point values on top of BigInt.
+//
+// The paper's inputs are integers "without loss of generality ... one could
+// alternatively interpret the inputs being rational numbers with some
+// arbitrary pre-defined precision". FixedPoint is that interpretation made
+// concrete: a value is scaled_integer / 10^frac_digits, with the scale fixed
+// protocol-wide so that integer order equals rational order and the CA
+// protocols can run unchanged on the scaled integers.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "util/bignat.h"
+
+namespace coca {
+
+class FixedPoint {
+ public:
+  /// Value scaled_value / 10^frac_digits.
+  FixedPoint(BigInt scaled_value, unsigned frac_digits)
+      : scaled_(std::move(scaled_value)), digits_(frac_digits) {}
+
+  /// Parses decimal notation ("-10.042"); excess fractional digits beyond
+  /// `frac_digits` are rejected (precision is a protocol-wide contract, not
+  /// a rounding knob).
+  static FixedPoint parse(std::string_view text, unsigned frac_digits);
+
+  const BigInt& scaled() const { return scaled_; }
+  unsigned digits() const { return digits_; }
+
+  /// Renders as decimal notation with exactly `digits()` fractional digits.
+  std::string to_string() const;
+
+  /// Comparisons require matching precision (by the protocol-wide contract).
+  std::strong_ordering operator<=>(const FixedPoint& o) const {
+    require(digits_ == o.digits_, "FixedPoint: precision mismatch");
+    return scaled_ <=> o.scaled_;
+  }
+  bool operator==(const FixedPoint& o) const {
+    return (*this <=> o) == std::strong_ordering::equal;
+  }
+
+ private:
+  BigInt scaled_;
+  unsigned digits_;
+};
+
+}  // namespace coca

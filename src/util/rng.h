@@ -1,0 +1,75 @@
+// Deterministic PRNG (xoshiro256**) for workload generation and adversaries.
+//
+// The protocols themselves are deterministic; randomness appears only in
+// tests, byzantine strategies, and benchmark workload generators, where
+// reproducibility across runs matters more than cryptographic quality.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bignat.h"
+#include "util/common.h"
+
+namespace coca {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) for bound >= 1, via rejection sampling.
+  std::uint64_t below(std::uint64_t bound) {
+    require(bound > 0, "Rng::below: bound must be positive");
+    const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % bound;
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return v % bound;
+  }
+
+  bool next_bool() { return (next_u64() >> 63) != 0; }
+
+  Bytes bytes(std::size_t n) {
+    Bytes out(n);
+    for (auto& b : out) b = static_cast<std::uint8_t>(next_u64());
+    return out;
+  }
+
+  /// Uniform bitstring of exactly `nbits` bits.
+  Bitstring bits(std::size_t nbits) {
+    return Bitstring::from_packed(bytes(ceil_div(nbits, 8)), nbits);
+  }
+
+  /// Uniform BigNat with at most `nbits` bits.
+  BigNat nat_below_pow2(std::size_t nbits) {
+    return BigNat::from_bits(bits(nbits));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace coca

@@ -1,0 +1,77 @@
+// Shared test helpers: run sub-protocols (BA, prefix search, ...) over a
+// SyncNetwork with a chosen corruption pattern and collect honest outputs.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adversary/spec.h"
+#include "ca/convex_agreement.h"
+#include "net/sync_network.h"
+
+namespace coca::test {
+
+/// Runs `body(ctx, id)` as every honest party; parties in `byzantine` run
+/// `strategy_factory(id)` instead. Returns per-honest-party results.
+template <class Result>
+struct SubRun {
+  std::vector<std::optional<Result>> outputs;  // by party id, honest only
+  net::RunStats stats;
+};
+
+template <class Result>
+SubRun<Result> run_parties(
+    int n, int t,
+    const std::function<Result(net::PartyContext&, int id)>& body,
+    const std::set<int>& byzantine = {},
+    const std::function<std::shared_ptr<net::ByzantineStrategy>(int id)>&
+        strategy_factory = {},
+    std::size_t max_rounds = net::SyncNetwork::kDefaultMaxRounds) {
+  net::SyncNetwork net(n, t);
+  SubRun<Result> run;
+  run.outputs.resize(static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    if (byzantine.contains(id)) {
+      net.set_byzantine(id, strategy_factory
+                                ? strategy_factory(id)
+                                : std::make_shared<adv::Silent>());
+    } else {
+      auto* slot = &run.outputs[static_cast<std::size_t>(id)];
+      net.set_honest(id, [body, slot, id](net::PartyContext& ctx) {
+        *slot = body(ctx, id);
+      });
+    }
+  }
+  run.stats = net.run(max_rounds);
+  return run;
+}
+
+/// All engaged outputs equal; at least one engaged.
+template <class Result>
+::testing::AssertionResult all_agree(
+    const std::vector<std::optional<Result>>& outputs) {
+  const Result* first = nullptr;
+  int engaged = 0;
+  for (const auto& out : outputs) {
+    if (!out) continue;
+    ++engaged;
+    if (first == nullptr) {
+      first = &*out;
+    } else if (!(*out == *first)) {
+      return ::testing::AssertionFailure() << "honest outputs disagree";
+    }
+  }
+  if (engaged == 0) {
+    return ::testing::AssertionFailure() << "no honest outputs";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// The default byzantine threshold for a given n: floor((n-1)/3).
+inline int max_t(int n) { return (n - 1) / 3; }
+
+}  // namespace coca::test

@@ -1,0 +1,114 @@
+// The adversary battery itself: each strategy behaves as documented, and
+// the installer wires the right corruption shape into the network.
+#include "adversary/spec.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/support.h"
+
+namespace coca::adv {
+namespace {
+
+// Collects everything a probe party receives from the byzantine party over
+// `rounds` rounds while honest parties broadcast a beacon each round.
+std::vector<Bytes> probe_strategy(std::shared_ptr<net::ByzantineStrategy> s,
+                                  int rounds) {
+  net::SyncNetwork net(3, 1);
+  net.set_byzantine(2, std::move(s));
+  std::vector<Bytes> from_byz;
+  net.set_honest(0, [rounds, &from_byz](net::PartyContext& ctx) {
+    for (int r = 0; r < rounds; ++r) {
+      ctx.send_all(Bytes{0xBE, static_cast<std::uint8_t>(r)});
+      for (const auto& e : ctx.advance()) {
+        if (e.from == 2) from_byz.push_back(e.payload);
+      }
+    }
+  });
+  net.set_honest(1, [rounds](net::PartyContext& ctx) {
+    for (int r = 0; r < rounds; ++r) {
+      ctx.send_all(Bytes{0xAF, static_cast<std::uint8_t>(r)});
+      (void)ctx.advance();
+    }
+  });
+  (void)net.run();
+  return from_byz;
+}
+
+TEST(Strategies, SilentSendsNothing) {
+  EXPECT_TRUE(probe_strategy(std::make_shared<Silent>(), 5).empty());
+}
+
+TEST(Strategies, GarbageSendsEveryRound) {
+  const auto msgs = probe_strategy(std::make_shared<Garbage>(), 5);
+  EXPECT_EQ(msgs.size(), 5u);
+  for (const auto& m : msgs) {
+    EXPECT_GE(m.size(), 1u);
+    EXPECT_LE(m.size(), 40u);
+  }
+}
+
+TEST(Strategies, SpamSendsConfiguredSize) {
+  const auto msgs = probe_strategy(std::make_shared<Spam>(512), 3);
+  ASSERT_EQ(msgs.size(), 3u);
+  for (const auto& m : msgs) EXPECT_EQ(m.size(), 512u);
+}
+
+TEST(Strategies, ReplaySendsOnlyObservedPayloads) {
+  const auto msgs = probe_strategy(std::make_shared<Replay>(), 4);
+  EXPECT_FALSE(msgs.empty());
+  for (const auto& m : msgs) {
+    ASSERT_EQ(m.size(), 2u);
+    EXPECT_TRUE(m[0] == 0xBE || m[0] == 0xAF) << "not an honest payload";
+  }
+}
+
+TEST(Strategies, EchoMirrorsLastRound) {
+  const auto msgs = probe_strategy(std::make_shared<Echo>(), 3);
+  // Round 0: nothing received yet, so nothing echoed; rounds 1..2 echo the
+  // probe's previous beacon.
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_EQ(msgs[0], (Bytes{0xBE, 0}));
+  EXPECT_EQ(msgs[1], (Bytes{0xBE, 1}));
+}
+
+TEST(Strategies, ConstantByteIsConstant) {
+  const auto msgs = probe_strategy(std::make_shared<ConstantByte>(0x01), 4);
+  ASSERT_EQ(msgs.size(), 4u);
+  for (const auto& m : msgs) EXPECT_EQ(m, Bytes{0x01});
+}
+
+TEST(Installer, AllKindsInstallAndRun) {
+  for (const Kind kind : kAllKinds) {
+    net::SyncNetwork net(4, 1);
+    const ProtocolHooks hooks{
+        [](net::PartyContext& ctx) { (void)ctx.advance(); },
+        [](net::PartyContext& ctx) { (void)ctx.advance(); }};
+    install(net, 3, kind, hooks);
+    for (int id = 0; id < 3; ++id) {
+      net.set_honest(id, [](net::PartyContext& ctx) {
+        ctx.send_all(Bytes{1});
+        (void)ctx.advance();
+      });
+    }
+    EXPECT_NO_THROW((void)net.run()) << to_string(kind);
+  }
+}
+
+TEST(Installer, ProtocolKindsRequireHooks) {
+  net::SyncNetwork net(4, 1);
+  EXPECT_THROW(install(net, 0, Kind::kExtremeLow, {}), Error);
+  EXPECT_THROW(install(net, 1, Kind::kSplitBrain, {}), Error);
+  EXPECT_NO_THROW(install(net, 2, Kind::kGarbage, {}));
+}
+
+TEST(Installer, NamesAreUniqueAndStable) {
+  std::set<std::string_view> names;
+  for (const Kind kind : kAllKinds) {
+    EXPECT_TRUE(names.insert(to_string(kind)).second);
+    EXPECT_NE(to_string(kind), "unknown");
+  }
+  EXPECT_EQ(names.size(), std::size(kAllKinds));
+}
+
+}  // namespace
+}  // namespace coca::adv

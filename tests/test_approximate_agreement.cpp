@@ -1,0 +1,198 @@
+// Synchronous Approximate Agreement: validity, epsilon-agreement, and the
+// per-iteration halving rate, under the adversary battery.
+#include "aa/approximate_agreement.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "tests/support.h"
+#include "util/rng.h"
+
+namespace coca::aa {
+namespace {
+
+using test::max_t;
+using test::run_parties;
+
+struct Outcome {
+  BigInt lo;
+  BigInt hi;
+  BigNat diameter;
+  bool valid;
+};
+
+Outcome analyze(const std::vector<std::optional<BigInt>>& outputs,
+                const std::vector<BigInt>& inputs) {
+  std::optional<BigInt> out_lo, out_hi, in_lo, in_hi;
+  for (std::size_t id = 0; id < outputs.size(); ++id) {
+    if (!outputs[id]) continue;
+    const BigInt& out = *outputs[id];
+    const BigInt& in = inputs[id];
+    if (!out_lo || out < *out_lo) out_lo = out;
+    if (!out_hi || out > *out_hi) out_hi = out;
+    if (!in_lo || in < *in_lo) in_lo = in;
+    if (!in_hi || in > *in_hi) in_hi = in;
+  }
+  const BigInt spread = *out_hi - *out_lo;
+  return {*out_lo, *out_hi, spread.magnitude(),
+          *in_lo <= *out_lo && *out_hi <= *in_hi};
+}
+
+class AASweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AASweep, ConvergesWithinEpsilonNoAdversary) {
+  const auto [n, seed] = GetParam();
+  const int t = max_t(n);
+  const SyncApproxAgreement aa;
+  Rng rng(static_cast<std::uint64_t>(seed) * 91 + n);
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(static_cast<std::int64_t>(rng.below(1 << 20)));
+  }
+  const std::size_t rounds = iterations_for(BigNat(1 << 20), BigNat(4));
+  auto run = run_parties<BigInt>(n, t, [&](net::PartyContext& ctx, int id) {
+    return aa.run(ctx, inputs[static_cast<std::size_t>(id)], rounds);
+  });
+  const Outcome o = analyze(run.outputs, inputs);
+  EXPECT_TRUE(o.valid);
+  // epsilon plus the +-1 truncation slack accumulated over the iterations.
+  EXPECT_LE(o.diameter, BigNat(4 + 2 * rounds));
+}
+
+TEST_P(AASweep, ConvergesUnderAdversaries) {
+  const auto [n, seed] = GetParam();
+  const int t = max_t(n);
+  const SyncApproxAgreement aa;
+  Rng rng(static_cast<std::uint64_t>(seed) * 37 + n);
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(static_cast<std::int64_t>(rng.below(1 << 16)) - (1 << 15));
+  }
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(2 * i);
+  const std::size_t rounds = iterations_for(BigNat(1 << 16), BigNat(4));
+  auto run = run_parties<BigInt>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return aa.run(ctx, inputs[static_cast<std::size_t>(id)], rounds);
+      },
+      byz,
+      [&](int id) -> std::shared_ptr<net::ByzantineStrategy> {
+        switch (id % 3) {
+          case 0:
+            return std::make_shared<adv::Replay>();
+          case 1:
+            return std::make_shared<adv::Garbage>();
+          default:
+            return std::make_shared<adv::Spam>(128);
+        }
+      });
+  const Outcome o = analyze(run.outputs, inputs);
+  EXPECT_TRUE(o.valid);
+  EXPECT_LE(o.diameter, BigNat(4 + 2 * rounds));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AASweep,
+                         ::testing::Combine(::testing::Values(4, 7, 10, 13),
+                                            ::testing::Values(1, 2)));
+
+TEST(ApproxAgreement, HalvingRatePerIteration) {
+  // Measure the diameter after k iterations: must shrink at least
+  // geometrically with factor ~1/2 (plus truncation slack).
+  const int n = 10;
+  const int t = 3;
+  const SyncApproxAgreement aa;
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(i % 2 == 0 ? 0 : 1 << 20);  // diameter 2^20
+  }
+  BigNat prev = BigNat(1 << 20);
+  for (std::size_t k = 1; k <= 6; ++k) {
+    auto run = run_parties<BigInt>(n, t, [&](net::PartyContext& ctx, int id) {
+      return aa.run(ctx, inputs[static_cast<std::size_t>(id)], k);
+    });
+    const Outcome o = analyze(run.outputs, inputs);
+    // After k halvings of 2^20: at most 2^(20-k) plus slack.
+    EXPECT_LE(o.diameter, (BigNat(1 << 20) >> k) + BigNat(2 * k))
+        << "k=" << k;
+    EXPECT_LE(o.diameter, prev);
+    prev = o.diameter;
+  }
+}
+
+TEST(ApproxAgreement, ValidityWithExtremeEquivocator) {
+  // A split-brain byzantine feeds 0 to half and 2^30 to the other half of
+  // the network at every AA iteration; outputs stay in the honest range.
+  const int n = 7;
+  const int t = 2;
+  const SyncApproxAgreement aa;
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) inputs.emplace_back(5000 + 10 * i);
+  const std::size_t rounds = 16;
+
+  net::SyncNetwork net(n, t);
+  std::vector<std::optional<BigInt>> outputs(n);
+  const auto byz_instance = [&](std::int64_t v) {
+    return [&aa, v, rounds](net::PartyContext& ctx) {
+      (void)aa.run(ctx, BigInt(v), rounds);
+    };
+  };
+  net.set_split_brain(6, byz_instance(0), byz_instance(1 << 30), {0, 2, 4});
+  net.set_byzantine(5, std::make_shared<adv::Replay>());
+  for (int id = 0; id < 5; ++id) {
+    net.set_honest(id, [&, id](net::PartyContext& ctx) {
+      outputs[static_cast<std::size_t>(id)] =
+          aa.run(ctx, inputs[static_cast<std::size_t>(id)], rounds);
+    });
+  }
+  (void)net.run();
+  const Outcome o = analyze(outputs, inputs);
+  EXPECT_TRUE(o.valid);
+  EXPECT_LE(o.diameter, BigNat(2 * rounds + 1));
+}
+
+TEST(ApproxAgreement, IdenticalInputsFixedPoint) {
+  const int n = 7;
+  const SyncApproxAgreement aa;
+  auto run = run_parties<BigInt>(n, 2, [&](net::PartyContext& ctx, int) {
+    return aa.run(ctx, BigInt(-777), 8);
+  });
+  for (const auto& out : run.outputs) EXPECT_EQ(*out, BigInt(-777));
+}
+
+TEST(ApproxAgreement, ZeroRoundsIsIdentity) {
+  const int n = 4;
+  const SyncApproxAgreement aa;
+  auto run = run_parties<BigInt>(n, 1, [&](net::PartyContext& ctx, int id) {
+    return aa.run(ctx, BigInt(id), 0);
+  });
+  for (int id = 0; id < n; ++id) EXPECT_EQ(*run.outputs[id], BigInt(id));
+}
+
+TEST(ApproxAgreement, IterationsForFormula) {
+  EXPECT_EQ(iterations_for(BigNat(1024), BigNat(1)), 10u);
+  EXPECT_EQ(iterations_for(BigNat(1024), BigNat(1024)), 0u);
+  EXPECT_EQ(iterations_for(BigNat(1025), BigNat(1)), 11u);
+  EXPECT_EQ(iterations_for(BigNat(0), BigNat(1)), 0u);
+  EXPECT_THROW(iterations_for(BigNat(8), BigNat(0)), Error);
+}
+
+TEST(ApproxAgreement, CommunicationQuadraticPerRound) {
+  // Each iteration ships every value to everyone: bytes ~ 2 * l * n^2 per
+  // iteration (value round + hash echoes).
+  const int n = 10;
+  const int t = 3;
+  const SyncApproxAgreement aa;
+  const auto bytes_for = [&](std::size_t iters) {
+    auto run = run_parties<BigInt>(n, t, [&](net::PartyContext& ctx, int id) {
+      return aa.run(ctx, BigInt(1000 + id), iters);
+    });
+    return run.stats.honest_bytes;
+  };
+  const auto b4 = bytes_for(4);
+  const auto b8 = bytes_for(8);
+  EXPECT_NEAR(static_cast<double>(b8) / static_cast<double>(b4), 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace coca::aa

@@ -1,0 +1,180 @@
+// Asynchronous network simulator: delivery semantics, scheduling policies,
+// deadlock detection, metering.
+#include "async/async_network.h"
+
+#include <gtest/gtest.h>
+
+namespace coca::async {
+namespace {
+
+TEST(AsyncNetwork, PingPong) {
+  AsyncNetwork net(2, 0);
+  std::vector<int> log;
+  net.set_process(0, [&](ProcessContext& ctx) {
+    ctx.send(1, Bytes{1});
+    const Envelope e = ctx.receive();
+    EXPECT_EQ(e.from, 1);
+    EXPECT_EQ(e.payload, Bytes{2});
+    log.push_back(0);
+  });
+  net.set_process(1, [&](ProcessContext& ctx) {
+    const Envelope e = ctx.receive();
+    EXPECT_EQ(e.from, 0);
+    ctx.send(0, Bytes{2});
+    log.push_back(1);
+  });
+  const AsyncStats stats = net.run();
+  EXPECT_EQ(stats.deliveries, 2u);
+  EXPECT_EQ(stats.honest_bytes, 2u);
+  EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(AsyncNetwork, SelfDelivery) {
+  AsyncNetwork net(1, 0);
+  net.set_process(0, [](ProcessContext& ctx) {
+    ctx.send(0, Bytes{42});
+    EXPECT_EQ(ctx.receive().payload, Bytes{42});
+  });
+  EXPECT_NO_THROW((void)net.run());
+}
+
+TEST(AsyncNetwork, FifoPolicyPreservesSendOrder) {
+  AsyncNetwork net(2, 0, Scheduling::kFifo);
+  net.set_process(0, [](ProcessContext& ctx) {
+    for (std::uint8_t i = 0; i < 10; ++i) ctx.send(1, Bytes{i});
+  });
+  net.set_process(1, [](ProcessContext& ctx) {
+    for (std::uint8_t i = 0; i < 10; ++i) {
+      EXPECT_EQ(ctx.receive().payload, Bytes{i});
+    }
+  });
+  (void)net.run();
+}
+
+TEST(AsyncNetwork, RandomPolicyReordersButDeliversAll) {
+  AsyncNetwork net(2, 0, Scheduling::kRandomDelay, /*seed=*/7);
+  std::multiset<int> got;
+  net.set_process(0, [](ProcessContext& ctx) {
+    for (std::uint8_t i = 0; i < 20; ++i) ctx.send(1, Bytes{i});
+  });
+  net.set_process(1, [&](ProcessContext& ctx) {
+    for (int i = 0; i < 20; ++i) got.insert(ctx.receive().payload[0]);
+  });
+  (void)net.run();
+  EXPECT_EQ(got.size(), 20u);
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(got.contains(i));
+}
+
+TEST(AsyncNetwork, LagPolicyStarvesLowIdsButDeliversEventually) {
+  // Party 2 waits for one message from each of 0 and 1; the lag policy
+  // must deliver 1's traffic first but cannot withhold 0's forever.
+  AsyncNetwork net(3, 0, Scheduling::kLagLowIds);
+  std::vector<int> order;
+  net.set_process(0, [](ProcessContext& ctx) { ctx.send(2, Bytes{0}); });
+  net.set_process(1, [](ProcessContext& ctx) { ctx.send(2, Bytes{1}); });
+  net.set_process(2, [&](ProcessContext& ctx) {
+    order.push_back(ctx.receive().from);
+    order.push_back(ctx.receive().from);
+  });
+  (void)net.run();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);  // higher sender id preferred
+  EXPECT_EQ(order[1], 0);  // ... but eventually delivered
+}
+
+TEST(AsyncNetwork, DeterministicGivenSeed) {
+  const auto execute = [] {
+    AsyncNetwork net(3, 0, Scheduling::kRandomDelay, 99);
+    std::vector<int> order;
+    for (int id = 0; id < 2; ++id) {
+      net.set_process(id, [id](ProcessContext& ctx) {
+        for (int i = 0; i < 5; ++i) {
+          ctx.send(2, Bytes{static_cast<std::uint8_t>(id)});
+        }
+      });
+    }
+    net.set_process(2, [&order](ProcessContext& ctx) {
+      for (int i = 0; i < 10; ++i) order.push_back(ctx.receive().from);
+    });
+    (void)net.run();
+    return order;
+  };
+  EXPECT_EQ(execute(), execute());
+}
+
+TEST(AsyncNetwork, DeadlockDetected) {
+  AsyncNetwork net(2, 0);
+  net.set_process(0, [](ProcessContext& ctx) { (void)ctx.receive(); });
+  net.set_process(1, [](ProcessContext& ctx) { (void)ctx.receive(); });
+  EXPECT_THROW((void)net.run(), Error);
+}
+
+TEST(AsyncNetwork, ByzantineWaiterDoesNotBlockTermination) {
+  // Honest processes finish; the byzantine process blocks in receive()
+  // forever -- the run must still complete.
+  AsyncNetwork net(2, 1);
+  net.set_process(0, [](ProcessContext&) {});
+  net.set_byzantine_process(1, [](ProcessContext& ctx) {
+    for (;;) (void)ctx.receive();
+  });
+  EXPECT_NO_THROW((void)net.run());
+}
+
+TEST(AsyncNetwork, MessagesToFinishedProcessesAreDropped) {
+  AsyncNetwork net(2, 0);
+  net.set_process(0, [](ProcessContext&) {});
+  net.set_process(1, [](ProcessContext& ctx) {
+    ctx.send(0, Bytes{1});
+    ctx.send(0, Bytes{2});
+  });
+  const AsyncStats stats = net.run();
+  EXPECT_EQ(stats.deliveries, 0u);
+}
+
+TEST(AsyncNetwork, ExceptionPropagates) {
+  AsyncNetwork net(2, 0);
+  net.set_process(0, [](ProcessContext&) { throw Error("bang"); });
+  net.set_process(1, [](ProcessContext& ctx) { (void)ctx.receive(); });
+  EXPECT_THROW((void)net.run(), Error);
+}
+
+TEST(AsyncNetwork, DeliveryLimitEnforced) {
+  AsyncNetwork net(2, 0);
+  net.set_process(0, [](ProcessContext& ctx) {
+    for (;;) {
+      ctx.send(1, Bytes{1});
+      (void)ctx.receive();
+    }
+  });
+  net.set_process(1, [](ProcessContext& ctx) {
+    for (;;) {
+      ctx.send(0, Bytes{1});
+      (void)ctx.receive();
+    }
+  });
+  EXPECT_THROW((void)net.run(/*max_deliveries=*/100), Error);
+}
+
+TEST(AsyncNetwork, ByzantineBytesExcluded) {
+  AsyncNetwork net(2, 1);
+  net.set_process(0, [](ProcessContext& ctx) {
+    ctx.send(1, Bytes(7, 0));
+    (void)ctx.receive();
+  });
+  net.set_byzantine_process(1, [](ProcessContext& ctx) {
+    (void)ctx.receive();
+    ctx.send(0, Bytes(100, 0));
+  });
+  const AsyncStats stats = net.run();
+  EXPECT_EQ(stats.honest_bytes, 7u);
+  EXPECT_EQ(stats.bytes_by_process[1], 100u);
+}
+
+TEST(AsyncNetwork, RolesMustBeAssigned) {
+  AsyncNetwork net(2, 0);
+  net.set_process(0, [](ProcessContext&) {});
+  EXPECT_THROW((void)net.run(), Error);
+}
+
+}  // namespace
+}  // namespace coca::async

@@ -1,0 +1,313 @@
+// Asynchronous protocols: Bracha reliable broadcast and t < n/5 async
+// Approximate Agreement, under all scheduling policies and byzantine
+// behaviours.
+#include <gtest/gtest.h>
+
+#include "async/async_aa.h"
+#include "async/bracha_rbc.h"
+#include "util/rng.h"
+#include "util/wire.h"
+
+namespace coca::async {
+namespace {
+
+// ---- Bracha RBC ----
+
+class RbcPolicies : public ::testing::TestWithParam<Scheduling> {};
+
+TEST_P(RbcPolicies, HonestBroadcasterDeliversEverywhere) {
+  const int n = 7;
+  const int t = 2;
+  const Bytes value{0xAB, 0xCD};
+  AsyncNetwork net(n, t, GetParam(), /*seed=*/5);
+  std::vector<std::optional<Bytes>> delivered(n);
+  for (int id = 0; id < n; ++id) {
+    net.set_process(id, [&, id](ProcessContext& ctx) {
+      delivered[static_cast<std::size_t>(id)] = BrachaRbc::run(
+          ctx, /*broadcaster=*/3,
+          id == 3 ? std::optional<Bytes>(value) : std::nullopt);
+    });
+  }
+  (void)net.run();
+  for (const auto& d : delivered) EXPECT_EQ(*d, value);
+}
+
+TEST_P(RbcPolicies, SurvivesSilentByzantineProcesses) {
+  const int n = 7;
+  const int t = 2;
+  const Bytes value{0x11};
+  AsyncNetwork net(n, t, GetParam(), /*seed=*/6);
+  std::vector<std::optional<Bytes>> delivered(n);
+  for (int id = 0; id < n; ++id) {
+    if (id == 5 || id == 6) {
+      net.set_byzantine_process(id, [](ProcessContext&) {});  // crashed
+    } else {
+      net.set_process(id, [&, id](ProcessContext& ctx) {
+        delivered[static_cast<std::size_t>(id)] = BrachaRbc::run(
+            ctx, 0, id == 0 ? std::optional<Bytes>(value) : std::nullopt);
+      });
+    }
+  }
+  (void)net.run();
+  for (int id = 0; id < 5; ++id) {
+    EXPECT_EQ(*delivered[static_cast<std::size_t>(id)], value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RbcPolicies,
+                         ::testing::Values(Scheduling::kFifo,
+                                           Scheduling::kRandomDelay,
+                                           Scheduling::kLagLowIds));
+
+TEST(BrachaRbc, EquivocatingBroadcasterCannotSplitDeliveries) {
+  // The byzantine broadcaster sends INIT 0xAA to half and 0xBB to the rest.
+  // Consistency: all honest deliveries (if any) must coincide; the run may
+  // instead deadlock (RBC has no termination guarantee for a corrupt
+  // broadcaster), which the simulator reports as an Error.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const int n = 7;
+    const int t = 2;
+    AsyncNetwork net(n, t, Scheduling::kRandomDelay, seed);
+    std::vector<std::optional<Bytes>> delivered(n);
+    net.set_byzantine_process(6, [](ProcessContext& ctx) {
+      Writer a;
+      a.u8(0);  // INIT
+      a.bytes(Bytes{0xAA});
+      Writer b;
+      b.u8(0);
+      b.bytes(Bytes{0xBB});
+      for (int to = 0; to < 3; ++to) ctx.send(to, a.peek());
+      for (int to = 3; to < 6; ++to) ctx.send(to, b.peek());
+    });
+    net.set_byzantine_process(5, [](ProcessContext&) {});
+    for (int id = 0; id < 5; ++id) {
+      net.set_process(id, [&, id](ProcessContext& ctx) {
+        delivered[static_cast<std::size_t>(id)] =
+            BrachaRbc::run(ctx, 6, std::nullopt);
+      });
+    }
+    try {
+      (void)net.run();
+    } catch (const Error&) {
+      continue;  // no-delivery outcome: acceptable
+    }
+    const Bytes* first = nullptr;
+    for (const auto& d : delivered) {
+      if (!d) continue;
+      if (first == nullptr) {
+        first = &*d;
+      } else {
+        EXPECT_EQ(*d, *first) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(BrachaRbc, GarbageFloodTolerated) {
+  const int n = 4;
+  const int t = 1;
+  AsyncNetwork net(n, t, Scheduling::kRandomDelay, 9);
+  std::vector<std::optional<Bytes>> delivered(n);
+  net.set_byzantine_process(3, [](ProcessContext& ctx) {
+    for (int i = 0; i < 200; ++i) {
+      for (int to = 0; to < 3; ++to) {
+        ctx.send(to, ctx.rng().bytes(1 + ctx.rng().below(20)));
+      }
+    }
+  });
+  const Bytes value{0x77};
+  for (int id = 0; id < 3; ++id) {
+    net.set_process(id, [&, id](ProcessContext& ctx) {
+      delivered[static_cast<std::size_t>(id)] = BrachaRbc::run(
+          ctx, 1, id == 1 ? std::optional<Bytes>(value) : std::nullopt);
+    });
+  }
+  (void)net.run();
+  for (int id = 0; id < 3; ++id) {
+    EXPECT_EQ(*delivered[static_cast<std::size_t>(id)], value);
+  }
+}
+
+// ---- Asynchronous AA (t < n/5) ----
+
+struct AaOutcome {
+  BigNat diameter;
+  bool valid;
+};
+
+AaOutcome run_async_aa(int n, int t, Scheduling policy, std::uint64_t seed,
+                       const std::vector<BigInt>& inputs, std::size_t rounds,
+                       int byz_count) {
+  AsyncNetwork net(n, t, policy, seed);
+  std::vector<std::optional<BigInt>> outputs(n);
+  const AsyncApproxAgreement aa;
+  for (int id = 0; id < n; ++id) {
+    if (id < byz_count) {
+      // Byzantine: floods every round tag with extreme values.
+      net.set_byzantine_process(id, [n, rounds](ProcessContext& ctx) {
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          for (int to = 0; to < n; ++to) {
+            Writer w;
+            w.u64(r);
+            w.u8(to % 2);
+            w.bignat(BigNat::pow2(40));
+            ctx.send(to, std::move(w).take());
+          }
+        }
+      });
+    } else {
+      net.set_process(id, [&, id](ProcessContext& ctx) {
+        outputs[static_cast<std::size_t>(id)] =
+            aa.run(ctx, inputs[static_cast<std::size_t>(id)], rounds);
+      });
+    }
+  }
+  (void)net.run();
+
+  std::optional<BigInt> out_lo, out_hi, in_lo, in_hi;
+  for (int id = byz_count; id < n; ++id) {
+    const BigInt& out = *outputs[static_cast<std::size_t>(id)];
+    const BigInt& in = inputs[static_cast<std::size_t>(id)];
+    if (!out_lo || out < *out_lo) out_lo = out;
+    if (!out_hi || out > *out_hi) out_hi = out;
+    if (!in_lo || in < *in_lo) in_lo = in;
+    if (!in_hi || in > *in_hi) in_hi = in;
+  }
+  return {(*out_hi - *out_lo).magnitude(),
+          *in_lo <= *out_lo && *out_hi <= *in_hi};
+}
+
+class AsyncAaSweep
+    : public ::testing::TestWithParam<std::tuple<Scheduling, int>> {};
+
+TEST_P(AsyncAaSweep, ValidityAlwaysConvergenceUnderFairSchedules) {
+  const auto [policy, seed] = GetParam();
+  const int n = 11;  // t < n/5 => t = 2
+  const int t = 2;
+  Rng rng(static_cast<std::uint64_t>(seed) * 71);
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(static_cast<std::int64_t>(rng.below(1 << 20)));
+  }
+  const std::size_t rounds = 30;
+  const AaOutcome o = run_async_aa(n, t, policy,
+                                   static_cast<std::uint64_t>(seed), inputs,
+                                   rounds, /*byz_count=*/t);
+  // Validity is unconditional.
+  EXPECT_TRUE(o.valid);
+  // Contraction has no worst-case guarantee: the run_async_aa adversary
+  // equivocates per recipient (one camp fed -2^40, the other +2^40), and
+  // under the *static* schedules (kFifo, kSkewPairs) that pins two honest
+  // camps at a median-map fixed point -- the deterministic stall asserted
+  // in PlainVariantStallsUnderStaticSchedules. The adaptive/randomized
+  // schedules break the camps and converge.
+  if (policy == Scheduling::kRandomDelay || policy == Scheduling::kLagLowIds) {
+    EXPECT_LE(o.diameter, BigNat((1 << 10) + 2 * rounds));
+  } else {
+    EXPECT_LE(o.diameter, BigNat(1 << 20));  // validity envelope only
+  }
+}
+
+TEST(AsyncAA, PlainVariantStallsUnderStaticSchedules) {
+  // The negative result, live and deterministic: an equivocating byzantine
+  // flooder (camp A fed -2^40, camp B fed +2^40 -- the run_async_aa
+  // adversary) under the static FIFO schedule freezes the honest diameter
+  // at a median-map fixed point: more rounds do not help.
+  const int n = 11;
+  const int t = 2;
+  Rng rng(71);
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(static_cast<std::int64_t>(rng.below(1 << 20)));
+  }
+  const AaOutcome after5 =
+      run_async_aa(n, t, Scheduling::kFifo, 1, inputs, 5, t);
+  const AaOutcome after30 =
+      run_async_aa(n, t, Scheduling::kFifo, 1, inputs, 30, t);
+  EXPECT_TRUE(after5.valid);
+  EXPECT_TRUE(after30.valid);
+  EXPECT_GT(after30.diameter, BigNat(1 << 10)) << "diameter stays large";
+  EXPECT_EQ(after5.diameter, after30.diameter) << "stall is a fixed point";
+}
+
+TEST(AsyncAA, MedianMapFixedPointExists) {
+  // The negative result behind the t < n/3 impossibility for this
+  // single-exchange variant, pinned combinatorially: at n = 11, t = 2 the
+  // update rule is the median of the n - t = 9 received values, and a
+  // scheduler pinning static skewed receive-sets admits a non-converging
+  // fixed point. Construction: honest camps A (5 processes at value a) and
+  // B (4 at value b != a); camp A receives {byz-low, 5 x a, 3 x b}, camp B
+  // receives {byz-high, 4 x b, 4 x a}. Both medians reproduce the camp
+  // value, so the diameter |b - a| never shrinks. (The witnessed variant
+  // exists to rule this out; see witnessed_aa.h.)
+  const auto update = [](std::vector<long> pool) {  // the n-t = 9 values
+    // 2t-per-side trim of 9 values leaves exactly the median.
+    std::sort(pool.begin(), pool.end());
+    return pool[4];
+  };
+  const long a = 100, b = 900, low = -1'000'000, high = 1'000'000;
+  const std::vector<long> camp_a_pool{low, a, a, a, a, a, b, b, b};
+  const std::vector<long> camp_b_pool{high, b, b, b, b, a, a, a, a};
+  EXPECT_EQ(update(camp_a_pool), a);  // camp A stays at a ...
+  EXPECT_EQ(update(camp_b_pool), b);  // ... camp B stays at b, forever.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AsyncAaSweep,
+    ::testing::Combine(::testing::Values(Scheduling::kFifo,
+                                         Scheduling::kRandomDelay,
+                                         Scheduling::kLagLowIds,
+                                         Scheduling::kSkewPairs),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(AsyncAA, IdenticalInputsAreFixed) {
+  const int n = 6;  // t = 1 < 6/5? 1 < 1.2: ok
+  const int t = 1;
+  std::vector<BigInt> inputs(n, BigInt(-4242));
+  const AaOutcome o = run_async_aa(n, t, Scheduling::kRandomDelay, 3, inputs,
+                                   8, /*byz_count=*/0);
+  EXPECT_TRUE(o.valid);
+  EXPECT_EQ(o.diameter, BigNat(0));
+}
+
+TEST(AsyncAA, RejectsTooManyCorruptions) {
+  AsyncNetwork net(6, 2, Scheduling::kFifo, 1);  // 6 <= 5*2
+  const AsyncApproxAgreement aa;
+  for (int id = 0; id < 6; ++id) {
+    net.set_process(id, [&aa](ProcessContext& ctx) {
+      (void)aa.run(ctx, BigInt(1), 2);
+    });
+  }
+  EXPECT_THROW((void)net.run(), Error);
+}
+
+TEST(AsyncAA, CrashedProcessesTolerated) {
+  const int n = 11;
+  const int t = 2;
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) inputs.emplace_back(100 * i);
+  // byz_count processes send nothing at all: the wait threshold n-t must
+  // still be reachable.
+  AsyncNetwork net(n, t, Scheduling::kRandomDelay, 17);
+  std::vector<std::optional<BigInt>> outputs(n);
+  const AsyncApproxAgreement aa;
+  for (int id = 0; id < n; ++id) {
+    if (id < t) {
+      net.set_byzantine_process(id, [](ProcessContext&) {});
+    } else {
+      net.set_process(id, [&, id](ProcessContext& ctx) {
+        outputs[static_cast<std::size_t>(id)] =
+            aa.run(ctx, inputs[static_cast<std::size_t>(id)], 25);
+      });
+    }
+  }
+  EXPECT_NO_THROW((void)net.run());
+  for (int id = t; id < n; ++id) {
+    ASSERT_TRUE(outputs[static_cast<std::size_t>(id)].has_value());
+    EXPECT_GE(*outputs[static_cast<std::size_t>(id)], BigInt(100 * t));
+    EXPECT_LE(*outputs[static_cast<std::size_t>(id)], BigInt(100 * (n - 1)));
+  }
+}
+
+}  // namespace
+}  // namespace coca::async

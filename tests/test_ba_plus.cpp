@@ -1,0 +1,155 @@
+// Pi_BA+ (Theorem 6): BA plus Intrusion Tolerance (Def. 3) and Bounded
+// Pre-Agreement (Def. 4).
+#include "ba/ba_plus.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "ba/phase_king.h"
+#include "ba/turpin_coan.h"
+#include "tests/support.h"
+
+namespace coca::ba {
+namespace {
+
+using test::all_agree;
+using test::max_t;
+using test::run_parties;
+
+struct Fixture {
+  PhaseKingBinary bin;
+  TurpinCoan tc{bin};
+  BAKit kit{&bin, &tc};
+  BAPlus ba{kit};
+};
+
+Bytes value(int tag) {
+  return Bytes{static_cast<std::uint8_t>(tag), 0xC0, 0xCA};
+}
+
+class BAPlusSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BAPlusSweep, ValidityAllSame) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  Fixture f;
+  auto run = run_parties<MaybeBytes>(n, t, [&](net::PartyContext& ctx, int) {
+    return f.ba.run(ctx, value(9));
+  });
+  for (const auto& out : run.outputs) EXPECT_EQ(*out, MaybeBytes{value(9)});
+}
+
+TEST_P(BAPlusSweep, AgreementDistinctInputs) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  Fixture f;
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(i);
+  auto run = run_parties<MaybeBytes>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) { return f.ba.run(ctx, value(id)); },
+      byz, [](int) { return std::make_shared<adv::Replay>(); });
+  EXPECT_TRUE(all_agree(run.outputs));
+}
+
+TEST_P(BAPlusSweep, IntrusionTolerance) {
+  // Whatever the adversary sends (including replayed honest traffic), the
+  // output is an honest input or bottom.
+  const int n = GetParam();
+  const int t = max_t(n);
+  Fixture f;
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(n - 1 - i);
+  std::set<MaybeBytes> honest_inputs;
+  for (int id = 0; id < n - t; ++id) honest_inputs.insert(value(id % 3));
+  auto run = run_parties<MaybeBytes>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return f.ba.run(ctx, value(id % 3));
+      },
+      byz, [](int) { return std::make_shared<adv::Garbage>(); });
+  for (const auto& out : run.outputs) {
+    if (!out) continue;
+    EXPECT_TRUE(!out->has_value() || honest_inputs.contains(*out));
+  }
+}
+
+TEST_P(BAPlusSweep, BoundedPreAgreement) {
+  // n - 2t honest parties share an input => the output is not bottom.
+  const int n = GetParam();
+  const int t = max_t(n);
+  Fixture f;
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(i);
+  // Exactly n - 2t honest parties hold value(0); the rest hold distinct ones.
+  const int sharers = n - 2 * t;
+  auto run = run_parties<MaybeBytes>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        const int honest_rank = id - t;  // honest ids are t..n-1 here
+        return f.ba.run(ctx,
+                        honest_rank < sharers ? value(0) : value(100 + id));
+      },
+      byz, [](int) { return std::make_shared<adv::Silent>(); });
+  EXPECT_TRUE(all_agree(run.outputs));
+  for (const auto& out : run.outputs) {
+    if (out) {
+      EXPECT_TRUE(out->has_value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BAPlusSweep, ::testing::Values(4, 7, 10, 13));
+
+TEST(BAPlus, PreAgreementSurvivesVoteSuppression) {
+  // Adversary stays silent in the value round but votes for a fake value:
+  // with n-2t honest sharers the real value must still win a slot in {a,b}.
+  const int n = 10;
+  const int t = 3;
+  Fixture f;
+  auto run = run_parties<MaybeBytes>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return f.ba.run(ctx, id < 7 ? value(1) : value(2));
+      },
+      {7, 8, 9}, [](int) { return std::make_shared<adv::Spam>(48); });
+  EXPECT_TRUE(all_agree(run.outputs));
+  for (const auto& out : run.outputs) {
+    if (out) {
+      EXPECT_TRUE(out->has_value());
+    }
+  }
+}
+
+TEST(BAPlus, NoPreAgreementMayReturnBottomButConsistently) {
+  const int n = 13;
+  const int t = 4;
+  Fixture f;
+  auto run = run_parties<MaybeBytes>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) { return f.ba.run(ctx, value(id)); },
+      {0, 1, 2, 3}, [](int) { return std::make_shared<adv::Garbage>(); });
+  EXPECT_TRUE(all_agree(run.outputs));
+}
+
+TEST(BAPlus, CommunicationQuadraticPlusBA) {
+  // The value-dependent part of BITS(BA+) is <= 3 values per party per
+  // party: growing kappa by 2x must grow honest bytes by < 2.5x and the
+  // value part by ~2x.
+  const int n = 10;
+  const int t = 3;
+  Fixture f;
+  const auto measure = [&](std::size_t len) {
+    auto run = run_parties<MaybeBytes>(
+        n, t, [&](net::PartyContext& ctx, int) {
+          return f.ba.run(ctx, Bytes(len, 0x66));
+        });
+    return run.stats.honest_bytes;
+  };
+  const auto b1 = measure(256);
+  const auto b2 = measure(512);
+  EXPECT_LT(static_cast<double>(b2) / static_cast<double>(b1), 2.5);
+}
+
+}  // namespace
+}  // namespace coca::ba

@@ -1,0 +1,138 @@
+// Baseline protocols: correctness, and the comparative communication shapes
+// the paper's headline claims rest on (tested at small scale; the benches
+// measure them over full sweeps).
+#include <gtest/gtest.h>
+
+#include "ca/broadcast_ca.h"
+#include "ca/driver.h"
+#include "tests/support.h"
+#include "util/rng.h"
+
+namespace coca::ca {
+namespace {
+
+SimConfig config_with_random_inputs(int n, int t, std::size_t bits,
+                                    std::uint64_t seed) {
+  SimConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  Rng rng(seed);
+  const BigNat base = BigNat::pow2(bits - 1);
+  for (int i = 0; i < n; ++i) {
+    cfg.inputs.emplace_back(base + rng.nat_below_pow2(bits - 2), false);
+  }
+  return cfg;
+}
+
+class BroadcastTrimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BroadcastTrimSweep, PropertiesWithAdversaries) {
+  const int n = GetParam();
+  const int t = test::max_t(n);
+  const DefaultBAStack stack;
+  const BroadcastTrimCA proto(stack.kit());
+  SimConfig cfg = config_with_random_inputs(n, t, 64, 17);
+  for (int i = 0; i < t; ++i) {
+    cfg.corruptions.push_back(
+        {3 * i + 2, i % 2 ? adv::Kind::kReplay : adv::Kind::kSplitBrain});
+  }
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BroadcastTrimSweep,
+                         ::testing::Values(4, 7, 10, 13));
+
+TEST(BroadcastTrim, ByzantineSenderCannotBiasOutput) {
+  // A byzantine broadcaster may contribute any agreed value, but trimming
+  // keeps the output between honest extremes.
+  const DefaultBAStack stack;
+  const BroadcastTrimCA proto(stack.kit());
+  SimConfig cfg;
+  cfg.n = 7;
+  cfg.t = 2;
+  cfg.inputs = {BigInt(500), BigInt(510), BigInt(505), BigInt(507),
+                BigInt(503), BigInt(0),   BigInt(0)};
+  cfg.corruptions = {{5, adv::Kind::kExtremeLow}, {6, adv::Kind::kExtremeHigh}};
+  cfg.extreme_low = BigInt(-999999);
+  cfg.extreme_high = BigInt(999999);
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  for (const auto& out : r.outputs) {
+    if (!out) continue;
+    EXPECT_GE(*out, BigInt(500));
+    EXPECT_LE(*out, BigInt(510));
+  }
+}
+
+TEST(Comparative, PiZBeatsBroadcastOnLongInputs) {
+  // The headline: at fixed n and large l, BITS(PiZ) = O(l n) must undercut
+  // BITS(BroadcastTrimCA) = O(l n^2).
+  const int n = 7;
+  const int t = 2;
+  const ConvexAgreement pi_z;
+  const DefaultBAStack stack;
+  const BroadcastTrimCA broadcast(stack.kit());
+  const std::size_t bits = 1 << 16;  // 64 Kbit inputs
+  const auto cost = [&](const CAProtocol& proto) {
+    const SimConfig cfg = config_with_random_inputs(n, t, bits, 23);
+    return run_simulation(proto, cfg).stats.honest_bytes;
+  };
+  const auto ours = cost(pi_z);
+  const auto theirs = cost(broadcast);
+  EXPECT_LT(ours * 2, theirs)
+      << "PiZ=" << ours << " broadcast=" << theirs << " at l=" << bits;
+}
+
+TEST(Comparative, HighCostBeatsPiZOnTinyInputs) {
+  // Below the l = Omega(kappa n log^2 n) threshold PiZ's poly(n, kappa)
+  // machinery dominates and the plain cubic protocol is cheaper -- the
+  // trade-off the paper's title qualifies with "for sufficiently long
+  // messages". (BroadcastTrimCA shares PiZ's extension machinery n times
+  // over, so it never wins; the interesting small-l comparator is
+  // HighCostCA.)
+  const int n = 7;
+  const int t = 2;
+  const ConvexAgreement pi_z;
+  const DefaultBAStack stack;
+  const HighCostCAProtocol high_cost(stack.kit());
+  const auto cost = [&](const CAProtocol& proto) {
+    const SimConfig cfg = config_with_random_inputs(n, t, 16, 29);
+    return run_simulation(proto, cfg).stats.honest_bytes;
+  };
+  EXPECT_GT(cost(pi_z), cost(high_cost));
+}
+
+TEST(Comparative, RoundShapes) {
+  // HighCostCA: O(n) rounds. PiZ: O(n log n) (from O(log n) Phase-King
+  // invocations of O(n) rounds each). Check ordering at one scale.
+  const int n = 10;
+  const int t = 3;
+  const ConvexAgreement pi_z;
+  const DefaultBAStack stack;
+  const HighCostCAProtocol high_cost(stack.kit());
+  const auto rounds = [&](const CAProtocol& proto) {
+    const SimConfig cfg = config_with_random_inputs(n, t, 32, 31);
+    return run_simulation(proto, cfg).stats.rounds;
+  };
+  EXPECT_LT(rounds(high_cost), rounds(pi_z));
+}
+
+TEST(Comparative, HonestBitsInsensitiveToSpam) {
+  // The paper's motivation: in prior CA protocols honest communication is
+  // adversarially chosen (honest parties forward byzantine payloads). In
+  // PiZ honest bytes must stay within a whisker of the adversary-free run
+  // even under spam floods.
+  const ConvexAgreement pi_z;
+  SimConfig base = config_with_random_inputs(7, 2, 4096, 37);
+  const auto clean = run_simulation(pi_z, base).stats.honest_bytes;
+  base.corruptions = {{2, adv::Kind::kSpam}, {4, adv::Kind::kSpam}};
+  const auto spammed = run_simulation(pi_z, base).stats.honest_bytes;
+  const double ratio =
+      static_cast<double>(spammed) / static_cast<double>(clean);
+  EXPECT_LT(ratio, 1.35) << "clean=" << clean << " spammed=" << spammed;
+}
+
+}  // namespace
+}  // namespace coca::ca

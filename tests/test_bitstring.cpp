@@ -1,0 +1,192 @@
+// Unit tests for the Bitstring value model (the paper's BITS_l / VAL /
+// MIN_l / MAX_l formalism).
+#include "util/bitstring.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace coca {
+namespace {
+
+TEST(Bitstring, ZerosAndOnes) {
+  EXPECT_EQ(Bitstring::zeros(5).to_string(), "00000");
+  EXPECT_EQ(Bitstring::ones(5).to_string(), "11111");
+  EXPECT_EQ(Bitstring::zeros(0).size(), 0u);
+  EXPECT_TRUE(Bitstring::zeros(0).empty());
+}
+
+TEST(Bitstring, FromStringRoundTrip) {
+  const std::string s = "1011001110001";
+  EXPECT_EQ(Bitstring::from_string(s).to_string(), s);
+}
+
+TEST(Bitstring, FromStringRejectsBadChars) {
+  EXPECT_THROW(Bitstring::from_string("01012"), Error);
+}
+
+TEST(Bitstring, FromU64MatchesPaperDefinition) {
+  // BITS_8(5) = 00000101: prepend zeroes to the minimal representation.
+  EXPECT_EQ(Bitstring::from_u64(5, 8).to_string(), "00000101");
+  EXPECT_EQ(Bitstring::from_u64(0, 4).to_string(), "0000");
+  EXPECT_EQ(Bitstring::from_u64(255, 8).to_string(), "11111111");
+}
+
+TEST(Bitstring, FromU64RejectsOverflow) {
+  EXPECT_THROW(Bitstring::from_u64(256, 8), Error);
+  EXPECT_NO_THROW(Bitstring::from_u64(~std::uint64_t{0}, 64));
+}
+
+TEST(Bitstring, ToU64RoundTrip) {
+  for (std::uint64_t v : {0ull, 1ull, 5ull, 255ull, 256ull, 123456789ull}) {
+    EXPECT_EQ(Bitstring::from_u64(v, 40).to_u64(), v);
+  }
+}
+
+TEST(Bitstring, BitAccess) {
+  Bitstring b = Bitstring::from_string("10110");
+  EXPECT_TRUE(b.bit(0));
+  EXPECT_FALSE(b.bit(1));
+  EXPECT_TRUE(b.bit(2));
+  EXPECT_TRUE(b.bit(3));
+  EXPECT_FALSE(b.bit(4));
+  EXPECT_THROW(b.bit(5), Error);
+  b.set_bit(1, true);
+  EXPECT_EQ(b.to_string(), "11110");
+  b.set_bit(0, false);
+  EXPECT_EQ(b.to_string(), "01110");
+}
+
+TEST(Bitstring, PushBack) {
+  Bitstring b;
+  for (char c : std::string("110100101")) b.push_back(c == '1');
+  EXPECT_EQ(b.to_string(), "110100101");
+}
+
+TEST(Bitstring, AppendAligned) {
+  Bitstring a = Bitstring::from_string("10101010");
+  a.append(Bitstring::from_string("1111"));
+  EXPECT_EQ(a.to_string(), "101010101111");
+}
+
+TEST(Bitstring, AppendUnaligned) {
+  Bitstring a = Bitstring::from_string("101");
+  a.append(Bitstring::from_string("0110011"));
+  EXPECT_EQ(a.to_string(), "1010110011");
+}
+
+TEST(Bitstring, AppendEmpty) {
+  Bitstring a = Bitstring::from_string("101");
+  a.append(Bitstring());
+  EXPECT_EQ(a.to_string(), "101");
+  Bitstring b;
+  b.append(a);
+  EXPECT_EQ(b.to_string(), "101");
+}
+
+TEST(Bitstring, SubstrBasics) {
+  const Bitstring b = Bitstring::from_string("110100101100");
+  EXPECT_EQ(b.substr(0, 4).to_string(), "1101");
+  EXPECT_EQ(b.substr(3, 5).to_string(), "10010");
+  EXPECT_EQ(b.substr(11, 1).to_string(), "0");
+  EXPECT_EQ(b.substr(12, 0).size(), 0u);
+  EXPECT_THROW(b.substr(10, 3), Error);
+}
+
+TEST(Bitstring, SubstrAppendRoundTripRandom) {
+  Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t len = 1 + rng.below(300);
+    const Bitstring b = rng.bits(len);
+    const std::size_t cut = rng.below(len + 1);
+    Bitstring joined = b.prefix(cut);
+    joined.append(b.substr(cut, len - cut));
+    EXPECT_EQ(joined, b) << "len=" << len << " cut=" << cut;
+  }
+}
+
+TEST(Bitstring, HasPrefix) {
+  const Bitstring b = Bitstring::from_string("1101001");
+  EXPECT_TRUE(b.has_prefix(Bitstring()));
+  EXPECT_TRUE(b.has_prefix(Bitstring::from_string("1101")));
+  EXPECT_TRUE(b.has_prefix(b));
+  EXPECT_FALSE(b.has_prefix(Bitstring::from_string("1100")));
+  EXPECT_FALSE(b.has_prefix(Bitstring::from_string("11010011")));
+}
+
+TEST(Bitstring, MinMaxFill) {
+  const Bitstring p = Bitstring::from_string("101");
+  EXPECT_EQ(Bitstring::min_fill(p, 8).to_string(), "10100000");
+  EXPECT_EQ(Bitstring::max_fill(p, 8).to_string(), "10111111");
+  EXPECT_EQ(Bitstring::min_fill(p, 3), p);
+  EXPECT_THROW(Bitstring::min_fill(p, 2), Error);
+}
+
+TEST(Bitstring, MinMaxFillBracketEveryExtension) {
+  // Remark 1's engine: MIN/MAX of a prefix bound every value extending it.
+  Rng rng(7);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t ell = 16;
+    const Bitstring v = rng.bits(ell);
+    const std::size_t cut = rng.below(ell + 1);
+    const Bitstring p = v.prefix(cut);
+    EXPECT_NE(Bitstring::numeric_compare(Bitstring::min_fill(p, ell), v),
+              std::strong_ordering::greater);
+    EXPECT_NE(Bitstring::numeric_compare(Bitstring::max_fill(p, ell), v),
+              std::strong_ordering::less);
+  }
+}
+
+TEST(Bitstring, CommonPrefixLen) {
+  const Bitstring a = Bitstring::from_string("110100101");
+  const Bitstring b = Bitstring::from_string("110101111");
+  EXPECT_EQ(Bitstring::common_prefix_len(a, b), 5u);
+  EXPECT_EQ(Bitstring::common_prefix_len(a, a), a.size());
+  EXPECT_EQ(Bitstring::common_prefix_len(a, Bitstring()), 0u);
+  EXPECT_EQ(Bitstring::common_prefix_len(Bitstring::from_string("0"),
+                                          Bitstring::from_string("1")),
+            0u);
+}
+
+TEST(Bitstring, NumericCompareMatchesValueOrder) {
+  // For equal lengths, lexicographic bit order equals numeric order of VAL.
+  Rng rng(13);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::uint64_t x = rng.below(1 << 20);
+    const std::uint64_t y = rng.below(1 << 20);
+    const auto cmp = Bitstring::numeric_compare(Bitstring::from_u64(x, 20),
+                                                Bitstring::from_u64(y, 20));
+    EXPECT_EQ(cmp == std::strong_ordering::less, x < y);
+    EXPECT_EQ(cmp == std::strong_ordering::equal, x == y);
+  }
+}
+
+TEST(Bitstring, NumericCompareRequiresEqualLengths) {
+  EXPECT_THROW(Bitstring::numeric_compare(Bitstring::zeros(3),
+                                          Bitstring::zeros(4)),
+               Error);
+}
+
+TEST(Bitstring, PackedRoundTrip) {
+  Rng rng(99);
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 200u}) {
+    const Bitstring b = rng.bits(len);
+    EXPECT_EQ(Bitstring::from_packed(b.packed(), b.size()), b);
+  }
+}
+
+TEST(Bitstring, FromPackedMasksTrailingBits) {
+  // Wire data may set the unused trailing bits; the invariant must hold so
+  // equal bitstrings have equal packed forms.
+  const Bytes dirty{0xFF};
+  const Bitstring b = Bitstring::from_packed(dirty, 3);
+  EXPECT_EQ(b.to_string(), "111");
+  EXPECT_EQ(b.packed()[0], 0xE0);
+}
+
+TEST(Bitstring, FromPackedRejectsWrongSize) {
+  EXPECT_THROW(Bitstring::from_packed(Bytes{0x00, 0x00}, 3), Error);
+}
+
+}  // namespace
+}  // namespace coca

@@ -1,0 +1,152 @@
+// GF(2^16) field axioms and Reed-Solomon erasure-coding tests.
+#include <gtest/gtest.h>
+
+#include "codec/gf16.h"
+#include "codec/reed_solomon.h"
+#include "util/rng.h"
+
+namespace coca::codec {
+namespace {
+
+TEST(GF16, TableConsistency) {
+  const GF16& f = GF16::instance();
+  // exp/log are mutually inverse over the multiplicative group.
+  for (std::size_t i = 0; i < GF16::kOrder; i += 97) {
+    const GF16::Elem e = f.exp(i);
+    ASSERT_NE(e, 0);
+    EXPECT_EQ(f.log(e), i);
+  }
+}
+
+TEST(GF16, FieldAxiomsSampled) {
+  const GF16& f = GF16::instance();
+  Rng rng(5);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const auto a = static_cast<GF16::Elem>(rng.next_u64());
+    const auto b = static_cast<GF16::Elem>(rng.next_u64());
+    const auto c = static_cast<GF16::Elem>(rng.next_u64());
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+    EXPECT_EQ(f.mul(a, GF16::add(b, c)),
+              GF16::add(f.mul(a, b), f.mul(a, c)));
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.mul(a, 0), 0);
+  }
+}
+
+TEST(GF16, InverseLaw) {
+  const GF16& f = GF16::instance();
+  Rng rng(6);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const auto a = static_cast<GF16::Elem>(1 + rng.below(GF16::kOrder));
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1) << a;
+    EXPECT_EQ(f.div(f.mul(a, 0x1234), a), 0x1234);
+  }
+  EXPECT_THROW(f.inv(0), Error);
+}
+
+class RSRoundTrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RSRoundTrip, AnyKSharesReconstruct) {
+  const auto [n, t] = GetParam();
+  const std::size_t k = static_cast<std::size_t>(n - t);
+  const ReedSolomon rs(static_cast<std::size_t>(n), k);
+  Rng rng(static_cast<std::uint64_t>(n) * 1000 + t);
+  for (const std::size_t size : {1u, 2u, 3u, 17u, 64u, 257u, 1000u}) {
+    const Bytes data = rng.bytes(size);
+    const auto shares = rs.encode(data);
+    ASSERT_EQ(shares.size(), static_cast<std::size_t>(n));
+    for (const auto& s : shares) EXPECT_EQ(s.size(), rs.share_size(size));
+
+    // Reconstruct from a random k-subset.
+    std::vector<std::size_t> idx(static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    for (std::size_t i = idx.size(); i-- > 1;) {
+      std::swap(idx[i], idx[rng.below(i + 1)]);
+    }
+    std::vector<std::pair<std::size_t, Bytes>> subset;
+    for (std::size_t i = 0; i < k; ++i) {
+      subset.emplace_back(idx[i], shares[idx[i]]);
+    }
+    const auto decoded = rs.decode(subset, size);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data) << "n=" << n << " size=" << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RSRoundTrip,
+                         ::testing::Values(std::tuple{4, 1}, std::tuple{7, 2},
+                                           std::tuple{10, 3}, std::tuple{13, 4},
+                                           std::tuple{31, 10},
+                                           std::tuple{64, 21}));
+
+TEST(ReedSolomon, SystematicPrefix) {
+  // Shares 0..k-1 carry the data symbols verbatim (share j = symbol j of
+  // each chunk).
+  const ReedSolomon rs(7, 5);
+  Bytes data(10);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  const auto shares = rs.encode(data);  // one chunk of 5 symbols
+  for (std::size_t j = 0; j < 5; ++j) {
+    EXPECT_EQ(shares[j], Bytes({data[2 * j], data[2 * j + 1]}));
+  }
+}
+
+TEST(ReedSolomon, DecodeFromParityOnly) {
+  const ReedSolomon rs(10, 4);
+  Rng rng(77);
+  const Bytes data = rng.bytes(100);
+  const auto shares = rs.encode(data);
+  std::vector<std::pair<std::size_t, Bytes>> parity;
+  for (std::size_t j = 6; j < 10; ++j) parity.emplace_back(j, shares[j]);
+  EXPECT_EQ(rs.decode(parity, data.size()), data);
+}
+
+TEST(ReedSolomon, DecodeRejectsTooFewShares) {
+  const ReedSolomon rs(7, 5);
+  const auto shares = rs.encode(Bytes(20, 0xAB));
+  std::vector<std::pair<std::size_t, Bytes>> few;
+  for (std::size_t j = 0; j < 4; ++j) few.emplace_back(j, shares[j]);
+  EXPECT_EQ(rs.decode(few, 20), std::nullopt);
+}
+
+TEST(ReedSolomon, DecodeIgnoresBadIndicesAndSizes) {
+  const ReedSolomon rs(7, 5);
+  Rng rng(78);
+  const Bytes data = rng.bytes(33);
+  const auto shares = rs.encode(data);
+  std::vector<std::pair<std::size_t, Bytes>> pool;
+  pool.emplace_back(99, shares[0]);                  // bad index
+  pool.emplace_back(0, Bytes{0x01});                 // bad size
+  for (std::size_t j = 0; j < 5; ++j) pool.emplace_back(j, shares[j]);
+  pool.emplace_back(0, shares[0]);                   // duplicate index
+  EXPECT_EQ(rs.decode(pool, data.size()), data);
+}
+
+TEST(ReedSolomon, ShareSizeIsCeilOverK) {
+  const ReedSolomon rs(31, 21);
+  EXPECT_EQ(rs.share_size(1), 2u);
+  EXPECT_EQ(rs.share_size(42), 2u);
+  EXPECT_EQ(rs.share_size(43), 4u);
+  EXPECT_EQ(rs.share_size(420), 20u);
+}
+
+TEST(ReedSolomon, RejectsBadParameters) {
+  EXPECT_THROW(ReedSolomon(0, 0), Error);
+  EXPECT_THROW(ReedSolomon(5, 6), Error);
+  EXPECT_THROW(ReedSolomon(70000, 10), Error);
+  EXPECT_NO_THROW(ReedSolomon(1, 1));
+}
+
+TEST(ReedSolomon, DeterministicEncoding) {
+  // The paper relies on RS.ENCODE being deterministic: same value, same
+  // codewords (hence the same Merkle root at every honest party).
+  const ReedSolomon rs(13, 9);
+  const Bytes data(500, 0x5A);
+  EXPECT_EQ(rs.encode(data), rs.encode(data));
+}
+
+}  // namespace
+}  // namespace coca::codec

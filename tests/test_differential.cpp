@@ -1,0 +1,130 @@
+// Differential property tests: the from-scratch substrates cross-checked
+// against native 64-bit arithmetic on random inputs, plus a large-scale
+// whole-stack smoke test.
+#include <gtest/gtest.h>
+
+#include "ca/driver.h"
+#include "util/bignat.h"
+#include "util/rng.h"
+
+namespace coca {
+namespace {
+
+TEST(Differential, BigNatArithmeticMatchesU64) {
+  Rng rng(2026);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const std::uint64_t a = rng.below(1ull << 31);
+    const std::uint64_t b = rng.below(1ull << 31);
+    const BigNat A(a), B(b);
+    EXPECT_EQ((A + B).to_u64(), a + b);
+    EXPECT_EQ((A * B).to_u64(), a * b);
+    if (a >= b) {
+      EXPECT_EQ((A - B).to_u64(), a - b);
+    }
+    EXPECT_EQ(A < B, a < b);
+    EXPECT_EQ(A == B, a == b);
+    const std::size_t sh = rng.below(20);
+    EXPECT_EQ((A << sh).to_u64(), a << sh);
+    EXPECT_EQ((A >> sh).to_u64(), a >> sh);
+    std::uint32_t rem = 0;
+    const std::uint32_t div = 1 + static_cast<std::uint32_t>(rng.below(1000));
+    EXPECT_EQ(A.div_u32(div, rem).to_u64(), a / div);
+    EXPECT_EQ(rem, a % div);
+  }
+}
+
+TEST(Differential, BigNatDecimalMatchesU64) {
+  Rng rng(2027);
+  for (int iter = 0; iter < 500; ++iter) {
+    const std::uint64_t a = rng.next_u64();
+    EXPECT_EQ(BigNat(a).to_decimal(), std::to_string(a));
+    EXPECT_EQ(BigNat::from_decimal(std::to_string(a)).to_u64(), a);
+  }
+}
+
+TEST(Differential, BigIntArithmeticMatchesI64) {
+  Rng rng(2028);
+  for (int iter = 0; iter < 3000; ++iter) {
+    const std::int64_t a =
+        static_cast<std::int64_t>(rng.below(1ull << 40)) - (1ll << 39);
+    const std::int64_t b =
+        static_cast<std::int64_t>(rng.below(1ull << 40)) - (1ll << 39);
+    const BigInt A(a), B(b);
+    EXPECT_EQ(A + B, BigInt(a + b));
+    EXPECT_EQ(A - B, BigInt(a - b));
+    EXPECT_EQ(-A, BigInt(-a));
+    EXPECT_EQ(A < B, a < b);
+    EXPECT_EQ(A == B, a == b);
+    EXPECT_EQ(A.to_decimal(), std::to_string(a));
+  }
+}
+
+TEST(Differential, BitstringOpsMatchU64Bits) {
+  Rng rng(2029);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::size_t width = 1 + rng.below(64);
+    const std::uint64_t a =
+        width == 64 ? rng.next_u64() : rng.below(1ull << width);
+    const Bitstring A = Bitstring::from_u64(a, width);
+    // Bit access vs shifts.
+    const std::size_t i = rng.below(width);
+    EXPECT_EQ(A.bit(i), ((a >> (width - 1 - i)) & 1) == 1);
+    // Prefix as numeric truncation.
+    const std::size_t p = rng.below(width + 1);
+    if (p > 0 && width - p < 64) {
+      EXPECT_EQ(A.prefix(p).to_u64(), a >> (width - p));
+    }
+    // MIN/MAX fill as OR with low bits.
+    if (p < width) {
+      const std::uint64_t ones_tail = (width - p) >= 64
+                                          ? ~std::uint64_t{0}
+                                          : (1ull << (width - p)) - 1;
+      EXPECT_EQ(Bitstring::max_fill(A.prefix(p), width).to_u64(),
+                (a & ~ones_tail) | ones_tail);
+      EXPECT_EQ(Bitstring::min_fill(A.prefix(p), width).to_u64(),
+                a & ~ones_tail);
+    }
+    // Round trip through BigNat.
+    EXPECT_EQ(BigNat::from_bits(A).to_u64(), a);
+    EXPECT_EQ(BigNat(a).to_bits(width), A);
+  }
+}
+
+TEST(Differential, CommonPrefixMatchesXorClz) {
+  Rng rng(2030);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const std::uint64_t a = rng.next_u64();
+    const std::uint64_t b = rng.next_u64();
+    const std::size_t expected =
+        a == b ? 64
+               : static_cast<std::size_t>(__builtin_clzll(a ^ b));
+    EXPECT_EQ(Bitstring::common_prefix_len(Bitstring::from_u64(a, 64),
+                                           Bitstring::from_u64(b, 64)),
+              expected);
+  }
+}
+
+TEST(Differential, LargeScaleSmoke) {
+  // One big run: n = 31, t = 10, mixed adversaries, 4096-bit magnitudes.
+  const ca::ConvexAgreement proto;
+  ca::SimConfig cfg;
+  cfg.n = 31;
+  cfg.t = 10;
+  Rng rng(31);
+  for (int i = 0; i < 31; ++i) {
+    cfg.inputs.emplace_back(BigNat::pow2(4095) + rng.nat_below_pow2(4094),
+                            false);
+  }
+  const adv::Kind kinds[] = {adv::Kind::kSplitBrain, adv::Kind::kReplay,
+                             adv::Kind::kSpam, adv::Kind::kGarbage,
+                             adv::Kind::kExtremeHigh};
+  for (int i = 0; i < 10; ++i) {
+    cfg.corruptions.push_back({3 * i + 1, kinds[i % 5]});
+  }
+  const ca::SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+}
+
+}  // namespace
+}  // namespace coca

@@ -1,0 +1,101 @@
+// Simulation driver and its property checkers.
+#include "ca/driver.h"
+
+#include <gtest/gtest.h>
+
+namespace coca::ca {
+namespace {
+
+TEST(SimResult, AgreementChecker) {
+  SimResult r;
+  r.outputs = {BigInt(5), std::nullopt, BigInt(5)};
+  EXPECT_TRUE(r.agreement());
+  r.outputs[2] = BigInt(6);
+  EXPECT_FALSE(r.agreement());
+  r.outputs = {std::nullopt, std::nullopt};
+  EXPECT_TRUE(r.agreement());  // vacuous
+}
+
+TEST(SimResult, ConvexValidityChecker) {
+  SimResult r;
+  r.outputs = {BigInt(5), std::nullopt, BigInt(7)};
+  const std::vector<BigInt> inputs{BigInt(4), BigInt(-100), BigInt(8)};
+  EXPECT_TRUE(r.convex_validity(inputs));  // byz input -100 excluded
+  r.outputs[0] = BigInt(3);                // below honest min 4
+  EXPECT_FALSE(r.convex_validity(inputs));
+  r.outputs = {BigInt(4), std::nullopt, BigInt(8)};  // endpoints allowed
+  EXPECT_TRUE(r.convex_validity(inputs));
+}
+
+TEST(Driver, RejectsBadConfigs) {
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.inputs = {BigInt(1), BigInt(2)};  // wrong size
+  EXPECT_THROW(run_simulation(proto, cfg), Error);
+
+  cfg.inputs = {BigInt(1), BigInt(2), BigInt(3), BigInt(4)};
+  cfg.corruptions = {{7, adv::Kind::kSilent}};  // out of range
+  EXPECT_THROW(run_simulation(proto, cfg), Error);
+
+  cfg.corruptions = {{1, adv::Kind::kSilent}, {1, adv::Kind::kGarbage}};
+  EXPECT_THROW(run_simulation(proto, cfg), Error);  // duplicate corruption
+}
+
+TEST(Driver, OutputsEngagedExactlyForHonest) {
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.inputs = {BigInt(1), BigInt(2), BigInt(3), BigInt(4)};
+  cfg.corruptions = {{2, adv::Kind::kSilent}};
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.outputs[0].has_value());
+  EXPECT_TRUE(r.outputs[1].has_value());
+  EXPECT_FALSE(r.outputs[2].has_value());
+  EXPECT_TRUE(r.outputs[3].has_value());
+}
+
+TEST(Driver, StatsArePopulated) {
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.inputs = {BigInt(10), BigInt(11), BigInt(12), BigInt(13)};
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_GT(r.stats.rounds, 0u);
+  EXPECT_GT(r.stats.honest_bits(), 0u);
+  EXPECT_EQ(r.stats.bytes_by_party.size(), 4u);
+  EXPECT_FALSE(r.stats.honest_bytes_by_phase.empty());
+  EXPECT_TRUE(r.stats.honest_bytes_by_phase.contains("PiZ"));
+}
+
+TEST(Driver, DeterministicAcrossRuns) {
+  // Same config => bit-identical outputs and costs (protocols are
+  // deterministic; the simulator is deterministic by construction).
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 7;
+  cfg.t = 2;
+  for (int i = 0; i < 7; ++i) cfg.inputs.emplace_back(1000 + 17 * i);
+  cfg.corruptions = {{1, adv::Kind::kGarbage}, {4, adv::Kind::kSplitBrain}};
+  const SimResult a = run_simulation(proto, cfg);
+  const SimResult b = run_simulation(proto, cfg);
+  EXPECT_EQ(a.outputs, b.outputs);
+  EXPECT_EQ(a.stats.honest_bytes, b.stats.honest_bytes);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+}
+
+TEST(Driver, MaxRoundsIsRespected) {
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.inputs = {BigInt(1), BigInt(2), BigInt(3), BigInt(4)};
+  cfg.max_rounds = 3;  // far too few for PiZ
+  EXPECT_THROW(run_simulation(proto, cfg), Error);
+}
+
+}  // namespace
+}  // namespace coca::ca

@@ -1,0 +1,230 @@
+// FixedLengthCA (Theorem 2) and FixedLengthCABlocks (Theorem 4).
+#include "ca/fixed_length_ca.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "ba/phase_king.h"
+#include "ba/turpin_coan.h"
+#include "ca/fixed_length_ca_blocks.h"
+#include "tests/support.h"
+#include "util/rng.h"
+
+namespace coca::ca {
+namespace {
+
+using test::all_agree;
+using test::max_t;
+using test::run_parties;
+
+struct Fixture {
+  ba::PhaseKingBinary bin;
+  ba::TurpinCoan tc{bin};
+  ba::BAKit kit{&bin, &tc};
+};
+
+void check_ca(const std::vector<std::optional<Bitstring>>& outputs,
+              const std::vector<Bitstring>& inputs) {
+  EXPECT_TRUE(all_agree(outputs));
+  const Bitstring* lo = nullptr;
+  const Bitstring* hi = nullptr;
+  for (std::size_t id = 0; id < outputs.size(); ++id) {
+    if (!outputs[id]) continue;
+    const Bitstring& in = inputs[id];
+    if (!lo ||
+        Bitstring::numeric_compare(in, *lo) == std::strong_ordering::less) {
+      lo = &in;
+    }
+    if (!hi ||
+        Bitstring::numeric_compare(in, *hi) == std::strong_ordering::greater) {
+      hi = &in;
+    }
+  }
+  for (const auto& out : outputs) {
+    if (!out) continue;
+    EXPECT_NE(Bitstring::numeric_compare(*out, *lo),
+              std::strong_ordering::less);
+    EXPECT_NE(Bitstring::numeric_compare(*out, *hi),
+              std::strong_ordering::greater);
+  }
+}
+
+class FixedLengthSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t, int>> {};
+
+TEST_P(FixedLengthSweep, CAWithoutAdversary) {
+  const auto [n, ell, seed] = GetParam();
+  const int t = max_t(n);
+  Fixture f;
+  const FixedLengthCA ca(f.kit);
+  Rng rng(static_cast<std::uint64_t>(seed) * 131 + n + ell);
+  std::vector<Bitstring> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(rng.bits(ell));
+  auto run = run_parties<Bitstring>(n, t, [&](net::PartyContext& ctx, int id) {
+    return ca.run(ctx, ell, inputs[static_cast<std::size_t>(id)]);
+  });
+  check_ca(run.outputs, inputs);
+}
+
+TEST_P(FixedLengthSweep, CAUnderAdversaries) {
+  const auto [n, ell, seed] = GetParam();
+  const int t = max_t(n);
+  Fixture f;
+  const FixedLengthCA ca(f.kit);
+  Rng rng(static_cast<std::uint64_t>(seed) * 613 + n + ell);
+  std::vector<Bitstring> inputs;
+  // Clustered inputs: the adversary tries to pull the output outside.
+  for (int i = 0; i < n; ++i) {
+    Bitstring v = Bitstring::zeros(ell);
+    const std::size_t tail = std::min<std::size_t>(ell, 6);
+    const Bitstring noise = rng.bits(tail);
+    for (std::size_t b = 0; b < tail; ++b) {
+      v.set_bit(ell - tail + b, noise.bit(b));
+    }
+    inputs.push_back(v);
+  }
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(i);
+  auto run = run_parties<Bitstring>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return ca.run(ctx, ell, inputs[static_cast<std::size_t>(id)]);
+      },
+      byz,
+      [&](int id) -> std::shared_ptr<net::ByzantineStrategy> {
+        switch (id % 3) {
+          case 0:
+            return std::make_shared<adv::Replay>();
+          case 1:
+            return std::make_shared<adv::Garbage>();
+          default:
+            return std::make_shared<adv::ConstantByte>(1);
+        }
+      });
+  check_ca(run.outputs, inputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, FixedLengthSweep,
+    ::testing::Combine(::testing::Values(4, 7, 10),
+                       ::testing::Values(std::size_t{1}, std::size_t{8},
+                                         std::size_t{65}),
+                       ::testing::Values(1, 2)));
+
+TEST(FixedLengthCA, IdenticalInputsShortCircuit) {
+  // With identical inputs FindPrefix returns the full value and the
+  // protocol terminates without AddLastBit/GetOutput.
+  const int n = 7;
+  Fixture f;
+  const FixedLengthCA ca(f.kit);
+  const Bitstring v = Bitstring::from_u64(0xCAFE, 16);
+  auto run = run_parties<Bitstring>(
+      n, 2, [&](net::PartyContext& ctx, int) { return ca.run(ctx, 16, v); });
+  for (const auto& out : run.outputs) EXPECT_EQ(*out, v);
+  EXPECT_EQ(run.stats.honest_bytes_by_phase.count("GetOutput"), 0u);
+}
+
+TEST(FixedLengthCA, TwoClustersLandsBetween) {
+  // Half the honest parties at 1000, half at 1010: output in [1000, 1010].
+  const int n = 10;
+  const int t = 3;
+  Fixture f;
+  const FixedLengthCA ca(f.kit);
+  auto run = run_parties<Bitstring>(n, t, [&](net::PartyContext& ctx, int id) {
+    return ca.run(ctx, 16, Bitstring::from_u64(id % 2 ? 1000 : 1010, 16));
+  });
+  EXPECT_TRUE(all_agree(run.outputs));
+  const std::uint64_t out = run.outputs[0]->to_u64();
+  EXPECT_GE(out, 1000u);
+  EXPECT_LE(out, 1010u);
+}
+
+TEST(FixedLengthCA, AdjacentValues) {
+  // v and v+1 differ in their last bit only after a long carry chain:
+  // exercises the MIN/MAX snapping logic.
+  const int n = 4;
+  Fixture f;
+  const FixedLengthCA ca(f.kit);
+  auto run = run_parties<Bitstring>(n, 1, [&](net::PartyContext& ctx, int id) {
+    return ca.run(ctx, 16, Bitstring::from_u64(id < 2 ? 0x7FFF : 0x8000, 16));
+  });
+  EXPECT_TRUE(all_agree(run.outputs));
+  const std::uint64_t out = run.outputs[0]->to_u64();
+  EXPECT_TRUE(out == 0x7FFF || out == 0x8000) << out;
+}
+
+TEST(FixedLengthCA, SplitBrainOnLBAPlusInput) {
+  // The equivocator feeds different values into every Pi_lBA+ instance.
+  const int n = 7;
+  const int t = 2;
+  Fixture f;
+  const FixedLengthCA ca(f.kit);
+  std::vector<Bitstring> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.push_back(Bitstring::from_u64(5000 + static_cast<unsigned>(i), 16));
+  }
+  net::SyncNetwork net(n, t);
+  std::vector<std::optional<Bitstring>> outputs(n);
+  const auto honest_fn = [&](int id) {
+    return [&, id](net::PartyContext& ctx) {
+      outputs[static_cast<std::size_t>(id)] =
+          ca.run(ctx, 16, inputs[static_cast<std::size_t>(id)]);
+    };
+  };
+  const auto byz_instance = [&](std::uint64_t value) {
+    return [&, value](net::PartyContext& ctx) {
+      (void)ca.run(ctx, 16, Bitstring::from_u64(value, 16));
+    };
+  };
+  net.set_split_brain(5, byz_instance(0), byz_instance(0xFFFF), {0, 2, 4});
+  net.set_split_brain(6, byz_instance(123), byz_instance(61234), {1, 3});
+  for (int id = 0; id < 5; ++id) net.set_honest(id, honest_fn(id));
+  (void)net.run();
+  check_ca(outputs, inputs);
+}
+
+class BlocksSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BlocksSweep, CAOnLongValues) {
+  const auto [n, seed] = GetParam();
+  const int t = max_t(n);
+  Fixture f;
+  const FixedLengthCABlocks ca(f.kit);
+  const std::size_t ell = static_cast<std::size_t>(n) * n * 16;
+  Rng rng(static_cast<std::uint64_t>(seed) * 17 + n);
+  const Bitstring head = rng.bits(ell - 10);
+  std::vector<Bitstring> inputs;
+  for (int i = 0; i < n; ++i) {
+    Bitstring v = head;
+    v.append(rng.bits(10));
+    inputs.push_back(v);
+  }
+  std::set<int> byz;
+  if (t > 0) byz.insert(n - 1);
+  auto run = run_parties<Bitstring>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return ca.run(ctx, ell, inputs[static_cast<std::size_t>(id)]);
+      },
+      byz, [](int) { return std::make_shared<adv::Replay>(); });
+  check_ca(run.outputs, inputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BlocksSweep,
+                         ::testing::Combine(::testing::Values(4, 7),
+                                            ::testing::Values(1, 2)));
+
+TEST(FixedLengthCABlocks, RejectsNonMultipleLength) {
+  Fixture f;
+  const FixedLengthCABlocks ca(f.kit);
+  net::SyncNetwork net(4, 1);
+  for (int id = 0; id < 4; ++id) {
+    net.set_honest(id, [&](net::PartyContext& ctx) {
+      (void)ca.run(ctx, 17, Bitstring::zeros(17));  // 17 not multiple of 16
+    });
+  }
+  EXPECT_THROW(net.run(), Error);
+}
+
+}  // namespace
+}  // namespace coca::ca

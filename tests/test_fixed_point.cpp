@@ -1,0 +1,71 @@
+// FixedPoint decimals (the paper's "rationals with pre-defined precision")
+// and their end-to-end use through Pi_Z.
+#include "util/fixed_point.h"
+
+#include <gtest/gtest.h>
+
+#include "ca/driver.h"
+
+namespace coca {
+namespace {
+
+TEST(FixedPoint, ParseAndFormat) {
+  EXPECT_EQ(FixedPoint::parse("-10.042", 3).to_string(), "-10.042");
+  EXPECT_EQ(FixedPoint::parse("-10.04", 3).to_string(), "-10.040");
+  EXPECT_EQ(FixedPoint::parse("5", 2).to_string(), "5.00");
+  EXPECT_EQ(FixedPoint::parse("0.5", 1).to_string(), "0.5");
+  EXPECT_EQ(FixedPoint::parse(".5", 1).to_string(), "0.5");
+  EXPECT_EQ(FixedPoint::parse("0", 0).to_string(), "0");
+  EXPECT_EQ(FixedPoint::parse("-0.001", 3).to_string(), "-0.001");
+}
+
+TEST(FixedPoint, ScaledValues) {
+  EXPECT_EQ(FixedPoint::parse("-10.042", 3).scaled(), BigInt(-10042));
+  EXPECT_EQ(FixedPoint::parse("3.14", 2).scaled(), BigInt(314));
+  EXPECT_EQ(FixedPoint::parse("100", 0).scaled(), BigInt(100));
+}
+
+TEST(FixedPoint, ParseRejections) {
+  EXPECT_THROW(FixedPoint::parse("", 2), Error);
+  EXPECT_THROW(FixedPoint::parse("-", 2), Error);
+  EXPECT_THROW(FixedPoint::parse("1.234", 2), Error);  // too much precision
+  EXPECT_THROW(FixedPoint::parse("1.2a", 3), Error);
+}
+
+TEST(FixedPoint, OrderingMatchesRationals) {
+  const auto fp = [](const char* s) { return FixedPoint::parse(s, 4); };
+  EXPECT_LT(fp("-10.05"), fp("-10.03"));
+  EXPECT_LT(fp("-0.0001"), fp("0"));
+  EXPECT_LT(fp("0.9999"), fp("1"));
+  EXPECT_EQ(fp("2.5000"), fp("2.5"));
+}
+
+TEST(FixedPoint, PrecisionMismatchRejected) {
+  EXPECT_THROW((void)(FixedPoint::parse("1", 2) < FixedPoint::parse("1", 3)),
+               Error);
+}
+
+TEST(FixedPoint, EndToEndThroughPiZ) {
+  // The paper's remark realized: run CA on scaled rationals.
+  const unsigned precision = 3;
+  const std::vector<const char*> readings{"-10.042", "-10.035", "-10.050",
+                                          "-10.031"};
+  ca::ConvexAgreement protocol;
+  ca::SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  for (const char* r : readings) {
+    cfg.inputs.push_back(FixedPoint::parse(r, precision).scaled());
+  }
+  const ca::SimResult result = ca::run_simulation(protocol, cfg);
+  ASSERT_TRUE(result.agreement());
+  ASSERT_TRUE(result.convex_validity(cfg.inputs));
+  const FixedPoint agreed(*result.outputs[0], precision);
+  EXPECT_GE(agreed, FixedPoint::parse("-10.050", precision));
+  EXPECT_LE(agreed, FixedPoint::parse("-10.031", precision));
+  // Output renders as a decimal with the agreed precision.
+  EXPECT_EQ(agreed.to_string().find("-10."), 0u);
+}
+
+}  // namespace
+}  // namespace coca

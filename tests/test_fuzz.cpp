@@ -1,0 +1,174 @@
+// Protocol-level robustness fuzzing: every protocol layer is exercised
+// against randomized byzantine byte streams across many seeds. The
+// assertion is three-fold: no crash / no hang (termination), agreement, and
+// convex validity where applicable. This is the failure-injection
+// counterpart of the wire-level fuzz in test_wire.cpp.
+#include <gtest/gtest.h>
+
+#include "ba/ba_plus.h"
+#include "ba/long_ba_plus.h"
+#include "ba/phase_king.h"
+#include "ba/turpin_coan.h"
+#include "ca/driver.h"
+#include "tests/support.h"
+#include "util/rng.h"
+
+namespace coca {
+namespace {
+
+using test::all_agree;
+using test::max_t;
+using test::run_parties;
+
+// A seeded chaos strategy: every round, for every recipient, flips a coin
+// among silence / short garbage / long garbage / replayed honest payload /
+// truncated honest payload.
+class Chaos final : public net::ByzantineStrategy {
+ public:
+  explicit Chaos(std::uint64_t seed) : rng_(seed) {}
+
+  void on_round(const net::RoundView& view,
+                const std::function<void(int, Bytes)>& send) override {
+    for (int to = 0; to < view.n; ++to) {
+      switch (rng_.below(5)) {
+        case 0:
+          break;  // silence
+        case 1:
+          send(to, rng_.bytes(1 + rng_.below(16)));
+          break;
+        case 2:
+          send(to, rng_.bytes(64 + rng_.below(512)));
+          break;
+        case 3: {
+          const auto& traffic = *view.honest_traffic;
+          if (!traffic.empty()) {
+            send(to, *traffic[rng_.below(traffic.size())].payload);
+          }
+          break;
+        }
+        default: {
+          const auto& traffic = *view.honest_traffic;
+          if (!traffic.empty()) {
+            Bytes cut = *traffic[rng_.below(traffic.size())].payload;
+            cut.resize(rng_.below(cut.size() + 1));
+            send(to, std::move(cut));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
+class FuzzSeeds : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeeds, BAPlusSurvivesChaos) {
+  const int seed = GetParam();
+  const int n = 7;
+  const int t = 2;
+  const ba::PhaseKingBinary bin;
+  const ba::TurpinCoan tc(bin);
+  const ba::BAPlus bap({&bin, &tc});
+  auto run = run_parties<ba::MaybeBytes>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return bap.run(ctx, Bytes{static_cast<std::uint8_t>(id / 3)});
+      },
+      {1, 5},
+      [&](int id) {
+        return std::make_shared<Chaos>(static_cast<std::uint64_t>(seed) * 10 +
+                                       static_cast<std::uint64_t>(id));
+      });
+  EXPECT_TRUE(all_agree(run.outputs));
+}
+
+TEST_P(FuzzSeeds, LongBAPlusSurvivesChaos) {
+  const int seed = GetParam();
+  const int n = 7;
+  const int t = 2;
+  const ba::PhaseKingBinary bin;
+  const ba::TurpinCoan tc(bin);
+  const ba::LongBAPlus lba({&bin, &tc});
+  Rng vrng(static_cast<std::uint64_t>(seed));
+  const Bytes shared = vrng.bytes(300);
+  auto run = run_parties<ba::MaybeBytes>(
+      n, t,
+      [&](net::PartyContext& ctx, int) { return lba.run(ctx, shared); },
+      {0, 6},
+      [&](int id) {
+        return std::make_shared<Chaos>(static_cast<std::uint64_t>(seed) * 31 +
+                                       static_cast<std::uint64_t>(id));
+      });
+  EXPECT_TRUE(all_agree(run.outputs));
+  // All honest parties share the input, so chaos cannot force bottom or a
+  // different value (Validity).
+  for (const auto& out : run.outputs) {
+    if (!out) continue;
+    ASSERT_TRUE(out->has_value());
+    EXPECT_EQ(**out, shared);
+  }
+}
+
+TEST_P(FuzzSeeds, PiZSurvivesChaos) {
+  const int seed = GetParam();
+  const int n = 7;
+  const int t = 2;
+  Rng vrng(static_cast<std::uint64_t>(seed) * 7);
+  net::SyncNetwork net(n, t);
+  const ca::ConvexAgreement proto;
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(BigNat::pow2(10) + vrng.nat_below_pow2(10), false);
+  }
+  std::vector<std::optional<BigInt>> outputs(n);
+  net.set_byzantine(2, std::make_shared<Chaos>(
+                           static_cast<std::uint64_t>(seed) * 101 + 2));
+  net.set_byzantine(4, std::make_shared<Chaos>(
+                           static_cast<std::uint64_t>(seed) * 101 + 4));
+  for (const int id : {0, 1, 3, 5, 6}) {
+    net.set_honest(id, [&, id](net::PartyContext& ctx) {
+      outputs[static_cast<std::size_t>(id)] =
+          proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
+    });
+  }
+  (void)net.run();
+
+  ca::SimResult r;
+  r.outputs = std::move(outputs);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(inputs));
+}
+
+TEST_P(FuzzSeeds, HighCostCASurvivesChaos) {
+  const int seed = GetParam();
+  const int n = 7;
+  const int t = 2;
+  const ca::HighCostCA hc;
+  Rng vrng(static_cast<std::uint64_t>(seed) * 13);
+  std::vector<BigNat> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(BigNat(800 + vrng.below(40)));
+  auto run = run_parties<BigNat>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return hc.run(ctx, inputs[static_cast<std::size_t>(id)]);
+      },
+      {0, 3},  // includes the first king
+      [&](int id) {
+        return std::make_shared<Chaos>(static_cast<std::uint64_t>(seed) * 53 +
+                                       static_cast<std::uint64_t>(id));
+      });
+  EXPECT_TRUE(all_agree(run.outputs));
+  for (const auto& out : run.outputs) {
+    if (!out) continue;
+    EXPECT_GE(*out, BigNat(800));
+    EXPECT_LE(*out, BigNat(839));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace coca

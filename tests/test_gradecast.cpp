@@ -1,0 +1,196 @@
+// Gradecast: the three graded-broadcast guarantees, single and batched.
+#include "ba/gradecast.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "tests/support.h"
+
+namespace coca::ba {
+namespace {
+
+using test::max_t;
+using test::run_parties;
+
+class GradecastSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradecastSweep, HonestLeaderGetsGradeTwoEverywhere) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  const Bytes value{0xCA, 0xFE, 0x01};
+  for (const int leader : {0, n / 2, n - 1}) {
+    auto run = run_parties<GradedValue>(
+        n, t, [&](net::PartyContext& ctx, int id) {
+          return gradecast(ctx, leader,
+                           id == leader ? std::optional<Bytes>(value)
+                                        : std::nullopt);
+        });
+    for (const auto& out : run.outputs) {
+      EXPECT_EQ(out->grade, 2);
+      EXPECT_EQ(*out->value, value);
+    }
+  }
+}
+
+TEST_P(GradecastSweep, HonestLeaderSurvivesByzantineEchoers) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  if (t == 0) GTEST_SKIP() << "needs a corruption budget";
+  const Bytes value{0x42};
+  const int leader = n - 1;  // corrupt early parties, keep the leader honest
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(i);
+  auto run = run_parties<GradedValue>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return gradecast(ctx, leader,
+                         id == leader ? std::optional<Bytes>(value)
+                                      : std::nullopt);
+      },
+      byz, [](int) { return std::make_shared<adv::Replay>(); });
+  for (const auto& out : run.outputs) {
+    if (!out) continue;
+    EXPECT_EQ(out->grade, 2);
+    EXPECT_EQ(*out->value, value);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GradecastSweep,
+                         ::testing::Values(4, 7, 10, 13));
+
+TEST(Gradecast, ByzantineLeaderGradesAreConsistent) {
+  // Whatever the corrupted leader does: grades differ by at most one, and
+  // all grade >= 1 parties hold the same value.
+  const int n = 7;
+  const int t = 2;
+  for (std::uint64_t variant = 0; variant < 6; ++variant) {
+    auto run = run_parties<GradedValue>(
+        n, t,
+        [&](net::PartyContext& ctx, int) {
+          return gradecast(ctx, /*leader=*/0, std::nullopt);
+        },
+        {0},
+        [&](int) -> std::shared_ptr<net::ByzantineStrategy> {
+          switch (variant % 3) {
+            case 0:
+              return std::make_shared<adv::Garbage>();
+            case 1:
+              return std::make_shared<adv::Silent>();
+            default:
+              return std::make_shared<adv::Replay>();
+          }
+        });
+    int min_grade = 2, max_grade = 0;
+    const Bytes* value = nullptr;
+    for (const auto& out : run.outputs) {
+      if (!out) continue;
+      min_grade = std::min(min_grade, out->grade);
+      max_grade = std::max(max_grade, out->grade);
+      if (out->grade >= 1) {
+        if (value == nullptr) {
+          value = &*out->value;
+        } else {
+          EXPECT_EQ(*out->value, *value);
+        }
+      }
+    }
+    EXPECT_LE(max_grade - min_grade, 1) << "variant " << variant;
+  }
+}
+
+TEST(Gradecast, SplitBrainLeaderCannotGetTwoGradeTwos) {
+  // The leader equivocates between two values; no two honest parties may
+  // end grade >= 1 with different values.
+  const int n = 7;
+  const int t = 2;
+  net::SyncNetwork net(n, t);
+  std::vector<std::optional<GradedValue>> outputs(n);
+  const auto leader_half = [&](Bytes v) {
+    return [v = std::move(v)](net::PartyContext& ctx) {
+      (void)gradecast(ctx, 6, v);
+    };
+  };
+  net.set_split_brain(6, leader_half(Bytes{0xAA}), leader_half(Bytes{0xBB}),
+                      {0, 1, 2});
+  net.set_byzantine(5, std::make_shared<adv::Replay>());
+  for (int id = 0; id < 5; ++id) {
+    net.set_honest(id, [&outputs, id](net::PartyContext& ctx) {
+      outputs[static_cast<std::size_t>(id)] =
+          gradecast(ctx, 6, std::nullopt);
+    });
+  }
+  (void)net.run();
+  const Bytes* value = nullptr;
+  for (const auto& out : outputs) {
+    if (!out || out->grade < 1) continue;
+    if (value == nullptr) {
+      value = &*out->value;
+    } else {
+      EXPECT_EQ(*out->value, *value);
+    }
+  }
+}
+
+TEST(Gradecast, ThreeRoundsFlat) {
+  auto run = run_parties<GradedValue>(7, 2, [](net::PartyContext& ctx, int id) {
+    return gradecast(ctx, 3, id == 3 ? std::optional<Bytes>(Bytes{1})
+                                     : std::nullopt);
+  });
+  EXPECT_EQ(run.stats.rounds, 3u);
+}
+
+TEST(GradecastAll, AllHonestAllGradeTwo) {
+  const int n = 10;
+  const int t = 3;
+  auto run = run_parties<std::vector<GradedValue>>(
+      n, t, [&](net::PartyContext& ctx, int id) {
+        return gradecast_all(ctx, Bytes{static_cast<std::uint8_t>(id)});
+      });
+  for (const auto& out : run.outputs) {
+    ASSERT_EQ(out->size(), static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      EXPECT_EQ((*out)[static_cast<std::size_t>(j)].grade, 2);
+      EXPECT_EQ(*(*out)[static_cast<std::size_t>(j)].value,
+                Bytes{static_cast<std::uint8_t>(j)});
+    }
+  }
+  EXPECT_EQ(run.stats.rounds, 3u);
+}
+
+TEST(GradecastAll, ByzantineInstancesIsolated) {
+  // Corrupting parties must not affect the grades of honest instances.
+  const int n = 10;
+  const int t = 3;
+  std::set<int> byz{2, 5, 8};
+  auto run = run_parties<std::vector<GradedValue>>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return gradecast_all(ctx, Bytes{static_cast<std::uint8_t>(id)});
+      },
+      byz, [](int) { return std::make_shared<adv::Garbage>(); });
+  for (const auto& out : run.outputs) {
+    if (!out) continue;
+    for (int j = 0; j < n; ++j) {
+      if (byz.contains(j)) continue;
+      EXPECT_EQ((*out)[static_cast<std::size_t>(j)].grade, 2) << j;
+      EXPECT_EQ(*(*out)[static_cast<std::size_t>(j)].value,
+                Bytes{static_cast<std::uint8_t>(j)});
+    }
+  }
+}
+
+TEST(Gradecast, RejectsBadArguments) {
+  net::SyncNetwork net(4, 1);
+  for (int id = 0; id < 4; ++id) {
+    net.set_honest(id, [id](net::PartyContext& ctx) {
+      if (id == 0) {
+        EXPECT_THROW((void)gradecast(ctx, 9, Bytes{1}), Error);
+        EXPECT_THROW((void)gradecast(ctx, 0, std::nullopt), Error);
+      }
+    });
+  }
+  (void)net.run();
+}
+
+}  // namespace
+}  // namespace coca::ba

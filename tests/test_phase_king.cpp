@@ -1,0 +1,171 @@
+// Phase-King BA: Definition 2 properties under corruption patterns.
+#include "ba/phase_king.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "tests/support.h"
+
+namespace coca::ba {
+namespace {
+
+using test::all_agree;
+using test::max_t;
+using test::run_parties;
+
+struct Net {
+  int n;
+  int t;
+};
+
+class PhaseKingBinarySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PhaseKingBinarySweep, ValidityAllSameInput) {
+  const auto [n, seed] = GetParam();
+  const int t = max_t(n);
+  const PhaseKingBinary ba;
+  for (const bool input : {false, true}) {
+    auto run = run_parties<bool>(n, t, [&](net::PartyContext& ctx, int) {
+      return ba.run(ctx, input);
+    });
+    for (const auto& out : run.outputs) EXPECT_EQ(out, input);
+  }
+}
+
+TEST_P(PhaseKingBinarySweep, AgreementMixedInputsNoAdversary) {
+  const auto [n, seed] = GetParam();
+  const int t = max_t(n);
+  const PhaseKingBinary ba;
+  Rng rng(static_cast<std::uint64_t>(seed));
+  std::vector<bool> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(rng.next_bool());
+  auto run = run_parties<bool>(n, t, [&](net::PartyContext& ctx, int id) {
+    return ba.run(ctx, inputs[static_cast<std::size_t>(id)]);
+  });
+  EXPECT_TRUE(all_agree(run.outputs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PhaseKingBinarySweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 5, 7,
+                                                              10, 13),
+                                            ::testing::Values(1, 2, 3)));
+
+// Validity must survive t byzantine parties trying to flip the outcome.
+class PhaseKingByzantine : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseKingByzantine, ValidityUnderAdversary) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  const PhaseKingBinary ba;
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(n - 1 - i);
+  // Adversary pushes the opposite bit every round, including as king.
+  for (const bool input : {false, true}) {
+    auto run = run_parties<bool>(
+        n, t,
+        [&](net::PartyContext& ctx, int) { return ba.run(ctx, input); }, byz,
+        [&](int) {
+          return std::make_shared<adv::ConstantByte>(input ? 0 : 1);
+        });
+    for (std::size_t id = 0; id < run.outputs.size(); ++id) {
+      if (run.outputs[id]) {
+        EXPECT_EQ(*run.outputs[id], input) << id;
+      }
+    }
+  }
+}
+
+TEST_P(PhaseKingByzantine, AgreementUnderGarbage) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  const PhaseKingBinary ba;
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(2 * i);  // include early kings
+  auto run = run_parties<bool>(
+      n, t, [&](net::PartyContext& ctx, int id) { return ba.run(ctx, id % 2); },
+      byz, [](int) { return std::make_shared<adv::Garbage>(); });
+  EXPECT_TRUE(all_agree(run.outputs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PhaseKingByzantine,
+                         ::testing::Values(4, 7, 10, 13, 16));
+
+TEST(PhaseKingBinary, RoundCountIsThreePerPhase) {
+  const int n = 7;
+  const int t = 2;
+  const PhaseKingBinary ba;
+  auto run = run_parties<bool>(
+      n, t, [&](net::PartyContext& ctx, int id) { return ba.run(ctx, id % 2); });
+  EXPECT_EQ(run.stats.rounds, 3u * static_cast<std::size_t>(t + 1));
+}
+
+TEST(PhaseKingBinary, QuadraticMessagesPerPhase) {
+  const int n = 10;
+  const int t = 3;
+  const PhaseKingBinary ba;
+  auto run = run_parties<bool>(
+      n, t, [&](net::PartyContext& ctx, int) { return ba.run(ctx, true); });
+  // Two universal exchanges (n msgs each per party) + king broadcasts.
+  const std::uint64_t exchanges = 2ull * n * n * (t + 1);
+  EXPECT_GE(run.stats.honest_messages, exchanges);
+  EXPECT_LE(run.stats.honest_messages, exchanges + 1ull * n * (t + 1));
+}
+
+class PhaseKingMultiSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhaseKingMultiSweep, ValidityAllSame) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  const PhaseKingMultivalued ba;
+  const MaybeBytes input = Bytes{0xDE, 0xAD, 0xBE, 0xEF};
+  auto run = run_parties<MaybeBytes>(
+      n, t, [&](net::PartyContext& ctx, int) { return ba.run(ctx, input); });
+  for (const auto& out : run.outputs) EXPECT_EQ(*out, input);
+}
+
+TEST_P(PhaseKingMultiSweep, ValidityAllBottom) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  const PhaseKingMultivalued ba;
+  auto run = run_parties<MaybeBytes>(n, t, [&](net::PartyContext& ctx, int) {
+    return ba.run(ctx, std::nullopt);
+  });
+  for (const auto& out : run.outputs) EXPECT_EQ(*out, MaybeBytes{});
+}
+
+TEST_P(PhaseKingMultiSweep, AgreementDistinctValuesUnderReplay) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  const PhaseKingMultivalued ba;
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(i);
+  auto run = run_parties<MaybeBytes>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return ba.run(ctx, Bytes{static_cast<std::uint8_t>(id)});
+      },
+      byz, [](int) { return std::make_shared<adv::Replay>(); });
+  EXPECT_TRUE(all_agree(run.outputs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PhaseKingMultiSweep,
+                         ::testing::Values(4, 7, 10, 13));
+
+TEST(PhaseKingMultivalued, ValidityUnderEquivocatingKing) {
+  // Corrupt the first t kings with a strategy that echoes different values
+  // to different parties; persistence of pre-agreement must hold anyway.
+  const int n = 7;
+  const int t = 2;
+  const PhaseKingMultivalued ba;
+  const MaybeBytes input = Bytes{0x11, 0x22};
+  auto run = run_parties<MaybeBytes>(
+      n, t, [&](net::PartyContext& ctx, int) { return ba.run(ctx, input); },
+      {0, 1}, [](int) { return std::make_shared<adv::Replay>(); });
+  for (std::size_t id = 2; id < run.outputs.size(); ++id) {
+    EXPECT_EQ(*run.outputs[id], input);
+  }
+}
+
+}  // namespace
+}  // namespace coca::ba

@@ -1,0 +1,175 @@
+// Pi_N (Theorem 5): unknown-length CA for naturals, both regimes.
+#include "ca/pi_n.h"
+
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "ba/phase_king.h"
+#include "ba/turpin_coan.h"
+#include "tests/support.h"
+#include "util/rng.h"
+
+namespace coca::ca {
+namespace {
+
+using test::all_agree;
+using test::max_t;
+using test::run_parties;
+
+struct Fixture {
+  ba::PhaseKingBinary bin;
+  ba::TurpinCoan tc{bin};
+  ba::BAKit kit{&bin, &tc};
+  PiN pi_n{kit};
+};
+
+void check_ca(const std::vector<std::optional<BigNat>>& outputs,
+              const std::vector<BigNat>& inputs) {
+  EXPECT_TRUE(all_agree(outputs));
+  std::optional<BigNat> lo, hi;
+  for (std::size_t id = 0; id < outputs.size(); ++id) {
+    if (!outputs[id]) continue;
+    if (!lo || inputs[id] < *lo) lo = inputs[id];
+    if (!hi || inputs[id] > *hi) hi = inputs[id];
+  }
+  for (const auto& out : outputs) {
+    if (!out) continue;
+    EXPECT_GE(*out, *lo);
+    EXPECT_LE(*out, *hi);
+  }
+}
+
+class PiNSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PiNSweep, ShortRegimeRandom) {
+  const auto [n, seed] = GetParam();
+  const int t = max_t(n);
+  Fixture f;
+  Rng rng(static_cast<std::uint64_t>(seed) * 7 + n);
+  std::vector<BigNat> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.push_back(rng.nat_below_pow2(1 + rng.below(12)));
+  }
+  auto run = run_parties<BigNat>(n, t, [&](net::PartyContext& ctx, int id) {
+    return f.pi_n.run(ctx, inputs[static_cast<std::size_t>(id)]);
+  });
+  check_ca(run.outputs, inputs);
+}
+
+TEST_P(PiNSweep, ShortRegimeUnderAdversary) {
+  const auto [n, seed] = GetParam();
+  const int t = max_t(n);
+  Fixture f;
+  Rng rng(static_cast<std::uint64_t>(seed) * 11 + n);
+  std::vector<BigNat> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(BigNat(200 + rng.below(55)));
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(i);
+  auto run = run_parties<BigNat>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return f.pi_n.run(ctx, inputs[static_cast<std::size_t>(id)]);
+      },
+      byz, [](int) { return std::make_shared<adv::Garbage>(); });
+  check_ca(run.outputs, inputs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PiNSweep,
+                         ::testing::Combine(::testing::Values(4, 7, 10),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(PiN, ZeroInputsWork) {
+  const int n = 4;
+  Fixture f;
+  auto run = run_parties<BigNat>(
+      n, 1, [&](net::PartyContext& ctx, int) { return f.pi_n.run(ctx, BigNat(0)); });
+  for (const auto& out : run.outputs) EXPECT_EQ(*out, BigNat(0));
+}
+
+TEST(PiN, MixedZeroAndSmall) {
+  const int n = 4;
+  Fixture f;
+  std::vector<BigNat> inputs{BigNat(0), BigNat(1), BigNat(0), BigNat(1)};
+  auto run = run_parties<BigNat>(n, 1, [&](net::PartyContext& ctx, int id) {
+    return f.pi_n.run(ctx, inputs[static_cast<std::size_t>(id)]);
+  });
+  check_ca(run.outputs, inputs);
+}
+
+TEST(PiN, MixedLengthRegimes) {
+  // Some honest parties below the n^2 threshold, some far above: the
+  // protocol must agree on one regime and stay valid.
+  const int n = 4;  // n^2 = 16 bits threshold
+  const int t = 1;
+  Fixture f;
+  std::vector<BigNat> inputs{
+      BigNat(100),                               // 7 bits
+      BigNat::pow2(100) + BigNat(5),             // 101 bits
+      BigNat::pow2(100),                         // 101 bits
+      BigNat::pow2(99),                          // 100 bits
+  };
+  auto run = run_parties<BigNat>(n, t, [&](net::PartyContext& ctx, int id) {
+    return f.pi_n.run(ctx, inputs[static_cast<std::size_t>(id)]);
+  });
+  check_ca(run.outputs, inputs);
+}
+
+TEST(PiN, LongRegimeClusteredValues) {
+  const int n = 4;
+  const int t = 1;
+  Fixture f;
+  Rng rng(3);
+  const BigNat base = rng.nat_below_pow2(2000) + BigNat::pow2(2000);
+  std::vector<BigNat> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.push_back(base + BigNat(rng.below(100)));
+  }
+  auto run = run_parties<BigNat>(n, t, [&](net::PartyContext& ctx, int id) {
+    return f.pi_n.run(ctx, inputs[static_cast<std::size_t>(id)]);
+  });
+  check_ca(run.outputs, inputs);
+}
+
+TEST(PiN, LongRegimeUnderSplitBrain) {
+  const int n = 7;
+  const int t = 2;
+  Fixture f;
+  Rng rng(4);
+  const BigNat base = BigNat::pow2(400);
+  std::vector<BigNat> inputs;
+  for (int i = 0; i < n; ++i) inputs.push_back(base + BigNat(rng.below(32)));
+
+  net::SyncNetwork net(n, t);
+  std::vector<std::optional<BigNat>> outputs(n);
+  const auto byz_instance = [&](BigNat value) {
+    return [&f, value = std::move(value)](net::PartyContext& ctx) {
+      (void)f.pi_n.run(ctx, value);
+    };
+  };
+  net.set_split_brain(5, byz_instance(BigNat(0)),
+                      byz_instance(BigNat::pow2(900)), {0, 2, 4, 6});
+  net.set_byzantine(6, std::make_shared<adv::Replay>());
+  for (int id = 0; id < 5; ++id) {
+    net.set_honest(id, [&, id](net::PartyContext& ctx) {
+      outputs[static_cast<std::size_t>(id)] =
+          f.pi_n.run(ctx, inputs[static_cast<std::size_t>(id)]);
+    });
+  }
+  (void)net.run();
+  check_ca(outputs, inputs);
+}
+
+TEST(PiN, DifferentLengthsLongRegime) {
+  // Lengths differ by far more than n^2 bits within the long regime.
+  const int n = 4;
+  Fixture f;
+  std::vector<BigNat> inputs{BigNat::pow2(50), BigNat::pow2(300),
+                             BigNat::pow2(200), BigNat::pow2(100)};
+  auto run = run_parties<BigNat>(n, 1, [&](net::PartyContext& ctx, int id) {
+    return f.pi_n.run(ctx, inputs[static_cast<std::size_t>(id)]);
+  });
+  check_ca(run.outputs, inputs);
+}
+
+}  // namespace
+}  // namespace coca::ca

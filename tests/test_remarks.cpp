@@ -1,0 +1,137 @@
+// Lemma-level property tests for the paper's structural facts:
+// Remark 1, Remark 2 (prefix/value geometry), Lemma 10 (trusted intervals),
+// and the counting facts behind Pi_BA+ (at most two candidates / heavy
+// values). These are the proofs' load-bearing steps, checked exhaustively
+// at small sizes and randomly at larger ones.
+#include <gtest/gtest.h>
+
+#include "util/bitstring.h"
+#include "util/rng.h"
+
+namespace coca {
+namespace {
+
+// Remark 1: for v <= v' < 2^l with common prefix c shorter than l,
+// MAX_l(c||0) and MIN_l(c||1) both lie in [v, v'].
+TEST(Remark1, ExhaustiveSmall) {
+  const std::size_t ell = 8;
+  for (std::uint64_t v = 0; v < (1u << ell); ++v) {
+    for (std::uint64_t w = v; w < (1u << ell); ++w) {
+      const Bitstring bv = Bitstring::from_u64(v, ell);
+      const Bitstring bw = Bitstring::from_u64(w, ell);
+      const std::size_t c = Bitstring::common_prefix_len(bv, bw);
+      if (c == ell) continue;
+      Bitstring c0 = bv.prefix(c);
+      c0.push_back(false);
+      Bitstring c1 = bv.prefix(c);
+      c1.push_back(true);
+      const std::uint64_t max0 = Bitstring::max_fill(c0, ell).to_u64();
+      const std::uint64_t min1 = Bitstring::min_fill(c1, ell).to_u64();
+      ASSERT_GE(max0, v);
+      ASSERT_LE(max0, w);
+      ASSERT_GE(min1, v);
+      ASSERT_LE(min1, w);
+      // The adjacency identity used in the remark's proof.
+      ASSERT_EQ(max0 + 1, min1);
+    }
+  }
+}
+
+// Remark 2: with common prefix c and continuations x < y (equal length),
+// MAX_l(c||x) and MIN_l(c||y) lie in [v, v'].
+TEST(Remark2, RandomizedLarge) {
+  Rng rng(404);
+  for (int iter = 0; iter < 300; ++iter) {
+    const std::size_t ell = 32 + rng.below(64);
+    const Bitstring v = rng.bits(ell);
+    Bitstring w = rng.bits(ell);
+    const auto cmp = Bitstring::numeric_compare(v, w);
+    const Bitstring& lo = cmp == std::strong_ordering::greater ? w : v;
+    const Bitstring& hi = cmp == std::strong_ordering::greater ? v : w;
+    const std::size_t c = Bitstring::common_prefix_len(lo, hi);
+    if (c == ell) continue;
+    // Continuations of one random unit length that keeps them differing.
+    const std::size_t unit = 1 + rng.below(ell - c);
+    const Bitstring x = lo.substr(c, unit);
+    const Bitstring y = hi.substr(c, unit);
+    if (Bitstring::numeric_compare(x, y) != std::strong_ordering::less) {
+      continue;  // equal-unit windows may coincide past the first bit
+    }
+    Bitstring cx = lo.prefix(c);
+    cx.append(x);
+    Bitstring cy = lo.prefix(c);
+    cy.append(y);
+    const Bitstring max_cx = Bitstring::max_fill(cx, ell);
+    const Bitstring min_cy = Bitstring::min_fill(cy, ell);
+    for (const Bitstring* m : {&max_cx, &min_cy}) {
+      EXPECT_NE(Bitstring::numeric_compare(*m, lo),
+                std::strong_ordering::less);
+      EXPECT_NE(Bitstring::numeric_compare(*m, hi),
+                std::strong_ordering::greater);
+    }
+  }
+}
+
+// Lemma 10's counting core: among r = (n-t)+k received values of which at
+// most k are adversarial, the (k+1)-th lowest and highest lie in the honest
+// range. Simulated directly on multisets.
+TEST(Lemma10, TrimmedEndpointsInHonestRange) {
+  Rng rng(505);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int n = 4 + static_cast<int>(rng.below(20));
+    const int t = (n - 1) / 3;
+    const int k = static_cast<int>(rng.below(static_cast<std::uint64_t>(t) + 1));
+    std::vector<std::int64_t> honest;
+    for (int i = 0; i < n - t; ++i) {
+      honest.push_back(static_cast<std::int64_t>(rng.below(1000)));
+    }
+    const auto [lo_it, hi_it] = std::minmax_element(honest.begin(), honest.end());
+    std::vector<std::int64_t> received = honest;
+    for (int i = 0; i < k; ++i) {
+      received.push_back(static_cast<std::int64_t>(rng.below(4000)) - 2000);
+    }
+    std::sort(received.begin(), received.end());
+    const std::int64_t interval_min = received[static_cast<std::size_t>(k)];
+    const std::int64_t interval_max =
+        received[received.size() - 1 - static_cast<std::size_t>(k)];
+    ASSERT_GE(interval_min, *lo_it);
+    ASSERT_LE(interval_min, interval_max);
+    ASSERT_LE(interval_max, *hi_it);
+  }
+}
+
+// Pi_BA+'s counting facts (proof of Theorem 6): at most two values can be
+// received from n-2t distinct senders each, and at most two values can
+// accumulate n-t votes when each party votes for at most two values.
+TEST(Theorem6Counting, AtMostTwoCandidates) {
+  Rng rng(606);
+  for (int iter = 0; iter < 500; ++iter) {
+    const int n = 4 + static_cast<int>(rng.below(30));
+    const int t = (n - 1) / 3;
+    // Arbitrary assignment of one value per sender.
+    std::map<int, int> count;
+    for (int i = 0; i < n; ++i) ++count[static_cast<int>(rng.below(5))];
+    int candidates = 0;
+    for (const auto& [value, c] : count) {
+      if (c >= n - 2 * t) ++candidates;
+    }
+    ASSERT_LE(candidates, 2) << "n=" << n;
+
+    // Votes: each party names at most two values.
+    std::map<int, int> votes;
+    for (int i = 0; i < n; ++i) {
+      const int a = static_cast<int>(rng.below(4));
+      const int b = static_cast<int>(rng.below(4));
+      ++votes[a];
+      if (b != a) ++votes[b];
+    }
+    int heavy = 0;
+    for (const auto& [value, c] : votes) {
+      if (c >= n - t) ++heavy;
+    }
+    ASSERT_LE(heavy, 2) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace coca

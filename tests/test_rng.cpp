@@ -1,0 +1,66 @@
+// Deterministic PRNG (xoshiro256**): reproducibility and sanity of ranges.
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace coca {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    EXPECT_EQ(rng.below(1), 0u);
+  }
+  EXPECT_THROW(rng.below(0), Error);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  int buckets[8] = {};
+  const int samples = 80000;
+  for (int i = 0; i < samples; ++i) ++buckets[rng.below(8)];
+  for (const int b : buckets) {
+    EXPECT_GT(b, samples / 8 - samples / 40);
+    EXPECT_LT(b, samples / 8 + samples / 40);
+  }
+}
+
+TEST(Rng, BytesAndBitsSizes) {
+  Rng rng(13);
+  EXPECT_EQ(rng.bytes(33).size(), 33u);
+  EXPECT_EQ(rng.bits(13).size(), 13u);
+  EXPECT_EQ(rng.bits(0).size(), 0u);
+}
+
+TEST(Rng, NatBelowPow2Bounded) {
+  Rng rng(17);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LE(rng.nat_below_pow2(100).bit_length(), 100u);
+  }
+}
+
+TEST(Rng, BoolIsBalanced) {
+  Rng rng(19);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += rng.next_bool();
+  EXPECT_GT(trues, 4500);
+  EXPECT_LT(trues, 5500);
+}
+
+}  // namespace
+}  // namespace coca

@@ -1,0 +1,268 @@
+// Simulated signatures, Dolev-Strong authenticated broadcast (t < n), and
+// the t < n/2 signed-broadcast CA (the paper's cryptographic-setup regime).
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "ba/dolev_strong.h"
+#include "ca/signed_ca.h"
+#include "tests/support.h"
+#include "util/rng.h"
+#include "util/wire.h"
+
+namespace coca {
+namespace {
+
+using test::all_agree;
+using test::run_parties;
+
+TEST(SimSignatures, SignVerifyRoundTrip) {
+  const crypto::SimulatedPki pki(5, 99);
+  const Bytes msg{1, 2, 3};
+  for (int id = 0; id < 5; ++id) {
+    const auto sig = pki.signer(id).sign(msg);
+    EXPECT_TRUE(pki.verify(id, msg, sig));
+    // Wrong message / wrong id / tampered signature all fail.
+    EXPECT_FALSE(pki.verify(id, Bytes{1, 2, 4}, sig));
+    EXPECT_FALSE(pki.verify((id + 1) % 5, msg, sig));
+    auto bad = sig;
+    bad[0] ^= 1;
+    EXPECT_FALSE(pki.verify(id, msg, bad));
+  }
+  EXPECT_FALSE(pki.verify(7, msg, pki.signer(0).sign(msg)));
+}
+
+TEST(SimSignatures, DistinctSecretsAcrossPartiesAndSetups) {
+  const crypto::SimulatedPki a(3, 1), b(3, 2);
+  const Bytes msg{9};
+  EXPECT_NE(a.signer(0).sign(msg), a.signer(1).sign(msg));
+  EXPECT_NE(a.signer(0).sign(msg), b.signer(0).sign(msg));
+}
+
+// Driver for one Dolev-Strong instance over the sync simulator.
+struct DsRun {
+  std::vector<std::optional<std::optional<Bytes>>> outputs;  // honest only
+  net::RunStats stats;
+};
+
+template <class ByzFactory>
+DsRun run_ds(int n, int t, int sender, const Bytes& value,
+             const std::set<int>& byz, const ByzFactory& factory) {
+  const crypto::SimulatedPki pki(n, 7);
+  const ba::DolevStrong ds(pki);
+  net::SyncNetwork net(n, t);
+  DsRun run;
+  run.outputs.resize(static_cast<std::size_t>(n));
+  for (int id = 0; id < n; ++id) {
+    if (byz.contains(id)) {
+      net.set_byzantine(id, factory(id));
+      continue;
+    }
+    net.set_honest(id, [&, id](net::PartyContext& ctx) {
+      const crypto::Signer signer = pki.signer(id);
+      run.outputs[static_cast<std::size_t>(id)] = ds.run(
+          ctx, signer, sender,
+          id == sender ? std::optional<Bytes>(value) : std::nullopt);
+    });
+  }
+  run.stats = net.run();
+  return run;
+}
+
+class DolevStrongSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DolevStrongSweep, HonestSenderValidity) {
+  const int n = GetParam();
+  // Dolev-Strong tolerates ANY t < n; exercise an honest-majority-breaking
+  // threshold too.
+  for (const int t : {(n - 1) / 3, (n - 1) / 2, n - 2}) {
+    std::set<int> byz;
+    for (int i = 0; i < t; ++i) byz.insert(i);
+    const Bytes value{0xD5, 0x01};
+    auto run = run_ds(n, t, /*sender=*/n - 1, value, byz, [](int) {
+      return std::make_shared<adv::Replay>();
+    });
+    for (const auto& out : run.outputs) {
+      if (!out) continue;
+      ASSERT_TRUE(out->has_value());
+      EXPECT_EQ(**out, value);
+    }
+    EXPECT_EQ(run.stats.rounds, static_cast<std::size_t>(t + 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DolevStrongSweep,
+                         ::testing::Values(4, 7, 10));
+
+TEST(DolevStrong, SilentSenderYieldsBottomEverywhere) {
+  auto run = run_ds(7, 2, /*sender=*/0, Bytes{}, {0, 1}, [](int) {
+    return std::make_shared<adv::Silent>();
+  });
+  for (const auto& out : run.outputs) {
+    if (out) {
+      EXPECT_FALSE(out->has_value());
+    }
+  }
+}
+
+TEST(DolevStrong, EquivocatingSenderIsConsistent) {
+  // The corrupted sender signs two different values and sends one to each
+  // half of the network; consistency forces identical outputs (here:
+  // everyone extracts both chains and outputs bottom).
+  const int n = 7;
+  const int t = 2;
+  const crypto::SimulatedPki pki(n, 7);
+  const ba::DolevStrong ds(pki);
+
+  class Equivocator final : public net::ByzantineStrategy {
+   public:
+    Equivocator(const crypto::SimulatedPki& pki, int self, int n)
+        : pki_(&pki), self_(self), n_(n) {}
+    void on_round(const net::RoundView& view,
+                  const std::function<void(int, Bytes)>& send) override {
+      if (view.round != 0) return;
+      for (int to = 0; to < n_; ++to) {
+        const Bytes value{static_cast<std::uint8_t>(to % 2 ? 0xAA : 0xBB)};
+        Writer content;
+        content.u8(0x44);
+        content.u32(static_cast<std::uint32_t>(self_));
+        content.bytes(value);
+        const auto sig = pki_->signer(self_).sign(content.peek());
+        Writer chain;
+        chain.bytes(value);
+        chain.u8(1);
+        chain.u32(static_cast<std::uint32_t>(self_));
+        chain.raw(std::span<const std::uint8_t>(sig.data(), sig.size()));
+        send(to, std::move(chain).take());
+      }
+    }
+
+   private:
+    const crypto::SimulatedPki* pki_;
+    int self_;
+    int n_;
+  };
+
+  net::SyncNetwork net(n, t);
+  std::vector<std::optional<std::optional<Bytes>>> outputs(n);
+  net.set_byzantine(0, std::make_shared<Equivocator>(pki, 0, n));
+  for (int id = 1; id < n; ++id) {
+    net.set_honest(id, [&, id](net::PartyContext& ctx) {
+      const crypto::Signer signer = pki.signer(id);
+      outputs[static_cast<std::size_t>(id)] =
+          ds.run(ctx, signer, 0, std::nullopt);
+    });
+  }
+  (void)net.run();
+  const std::optional<Bytes>* first = nullptr;
+  for (const auto& out : outputs) {
+    if (!out) continue;
+    if (first == nullptr) {
+      first = &*out;
+    } else {
+      EXPECT_EQ(*out, *first);
+    }
+  }
+  ASSERT_NE(first, nullptr);
+  EXPECT_FALSE(first->has_value()) << "both chains circulate => bottom";
+}
+
+TEST(DolevStrong, ForgedChainsRejected) {
+  // A byzantine non-sender fabricates chains with garbage signatures for a
+  // value of its choice; honest parties must not extract it.
+  class Forger final : public net::ByzantineStrategy {
+   public:
+    void on_round(const net::RoundView& view,
+                  const std::function<void(int, Bytes)>& send) override {
+      Writer chain;
+      chain.bytes(Bytes{0xEE, 0xEE});
+      chain.u8(2);
+      for (const std::uint32_t id : {0u, 6u}) {
+        chain.u32(id);
+        const Bytes fake = view.rng->bytes(32);
+        chain.raw(std::span<const std::uint8_t>(fake.data(), fake.size()));
+      }
+      const Bytes payload = std::move(chain).take();
+      for (int to = 0; to < view.n; ++to) send(to, payload);
+    }
+  };
+  const Bytes value{0x0D};
+  auto run = run_ds(7, 2, /*sender=*/0, value, {6}, [](int) {
+    return std::make_shared<Forger>();
+  });
+  for (const auto& out : run.outputs) {
+    if (!out) continue;
+    ASSERT_TRUE(out->has_value());
+    EXPECT_EQ(**out, value) << "forgery must not displace the real value";
+  }
+}
+
+class SignedCaSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SignedCaSweep, HonestMajorityCA) {
+  const auto [n, seed] = GetParam();
+  const int t = (n - 1) / 2;  // beyond n/3!
+  const crypto::SimulatedPki pki(n, 11);
+  const ca::SignedBroadcastCA ca(pki);
+  Rng rng(static_cast<std::uint64_t>(seed) * 7 + static_cast<unsigned>(n));
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(static_cast<std::int64_t>(rng.below(2000)) - 1000);
+  }
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(2 * i + 1);
+
+  net::SyncNetwork net(n, t);
+  std::vector<std::optional<BigInt>> outputs(n);
+  for (int id = 0; id < n; ++id) {
+    if (byz.contains(id)) {
+      net.set_byzantine(id, id % 2 == 1 && id < n / 2
+                                ? std::static_pointer_cast<net::ByzantineStrategy>(
+                                      std::make_shared<adv::Replay>())
+                                : std::make_shared<adv::Garbage>());
+      continue;
+    }
+    net.set_honest(id, [&, id](net::PartyContext& ctx) {
+      const crypto::Signer signer = pki.signer(id);
+      outputs[static_cast<std::size_t>(id)] =
+          ca.run(ctx, signer, inputs[static_cast<std::size_t>(id)]);
+    });
+  }
+  (void)net.run();
+
+  EXPECT_TRUE(all_agree(outputs));
+  std::optional<BigInt> lo, hi;
+  for (int id = 0; id < n; ++id) {
+    if (!outputs[static_cast<std::size_t>(id)]) continue;
+    if (!lo || inputs[static_cast<std::size_t>(id)] < *lo) {
+      lo = inputs[static_cast<std::size_t>(id)];
+    }
+    if (!hi || inputs[static_cast<std::size_t>(id)] > *hi) {
+      hi = inputs[static_cast<std::size_t>(id)];
+    }
+  }
+  for (const auto& out : outputs) {
+    if (!out) continue;
+    EXPECT_GE(*out, *lo);
+    EXPECT_LE(*out, *hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SignedCaSweep,
+                         ::testing::Combine(::testing::Values(4, 5, 7, 9),
+                                            ::testing::Values(1, 2)));
+
+TEST(SignedBroadcastCA, RejectsTooManyCorruptions) {
+  const crypto::SimulatedPki pki(4, 11);
+  const ca::SignedBroadcastCA ca(pki);
+  net::SyncNetwork net(4, 2);  // 2t = n
+  for (int id = 0; id < 4; ++id) {
+    net.set_honest(id, [&, id](net::PartyContext& ctx) {
+      const crypto::Signer signer = pki.signer(id);
+      (void)ca.run(ctx, signer, BigInt(id));
+    });
+  }
+  EXPECT_THROW(net.run(), Error);
+}
+
+}  // namespace
+}  // namespace coca

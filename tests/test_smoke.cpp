@@ -1,0 +1,98 @@
+// End-to-end smoke tests: the full Pi_Z stack on small configurations.
+// (The heavy property sweeps live in test_properties.cpp.)
+#include <gtest/gtest.h>
+
+#include "ca/broadcast_ca.h"
+#include "ca/driver.h"
+
+namespace coca::ca {
+namespace {
+
+TEST(Smoke, FourPartiesNoAdversary) {
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.inputs = {BigInt(10), BigInt(12), BigInt(11), BigInt(13)};
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+}
+
+TEST(Smoke, FourPartiesOneSilentByzantine) {
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.inputs = {BigInt(100), BigInt(105), BigInt(101), BigInt(0)};
+  cfg.corruptions = {{3, adv::Kind::kSilent}};
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+}
+
+TEST(Smoke, NegativeInputs) {
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.inputs = {BigInt(-50), BigInt(-48), BigInt(-52), BigInt(-49)};
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+  EXPECT_TRUE(r.outputs[0]->negative());
+}
+
+TEST(Smoke, MixedSignsWithGarbageAdversary) {
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 7;
+  cfg.t = 2;
+  cfg.inputs = {BigInt(-3), BigInt(5),  BigInt(2), BigInt(-1),
+                BigInt(4),  BigInt(0), BigInt(0)};
+  cfg.corruptions = {{5, adv::Kind::kGarbage}, {6, adv::Kind::kSplitBrain}};
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+}
+
+TEST(Smoke, LargeMagnitudes) {
+  const ConvexAgreement proto;
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  const BigInt base = BigInt::from_decimal("123456789012345678901234567890");
+  cfg.inputs = {base, base + BigInt(7), base + BigInt(3), base + BigInt(1)};
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+}
+
+TEST(Smoke, BroadcastBaselineWorks) {
+  const DefaultBAStack stack;
+  const BroadcastTrimCA proto(stack.kit());
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.inputs = {BigInt(10), BigInt(12), BigInt(11), BigInt(-99)};
+  cfg.corruptions = {{3, adv::Kind::kExtremeHigh}};
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+}
+
+TEST(Smoke, HighCostBaselineWorks) {
+  const DefaultBAStack stack;
+  const HighCostCAProtocol proto(stack.kit());
+  SimConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.inputs = {BigInt(10), BigInt(12), BigInt(11), BigInt(0)};
+  cfg.corruptions = {{3, adv::Kind::kReplay}};
+  const SimResult r = run_simulation(proto, cfg);
+  EXPECT_TRUE(r.agreement());
+  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+}
+
+}  // namespace
+}  // namespace coca::ca

@@ -1,0 +1,206 @@
+// Edge-case tests for the Section 3 subprotocols taken in isolation:
+// add_last_bit / get_output preconditions and postconditions, Pi_lBA+
+// tuple handling, and FixedLengthCA corner geometries.
+#include <gtest/gtest.h>
+
+#include "adversary/strategies.h"
+#include "ba/phase_king.h"
+#include "ba/turpin_coan.h"
+#include "ca/fixed_length_ca.h"
+#include "ca/fixed_length_ca_blocks.h"
+#include "tests/support.h"
+#include "util/rng.h"
+
+namespace coca::ca {
+namespace {
+
+using test::all_agree;
+using test::run_parties;
+
+struct Fixture {
+  ba::PhaseKingBinary bin;
+  ba::TurpinCoan tc{bin};
+  ba::BAKit kit{&bin, &tc};
+};
+
+TEST(AddLastBit, ExtensionIsSomeHonestNextBit) {
+  // Parties share prefix "10"; half continue with 0, half with 1: the
+  // extension must be one of those (BA Validity picks an honest bit).
+  const int n = 7;
+  Fixture f;
+  const Bitstring prefix = Bitstring::from_string("10");
+  auto run = run_parties<Bitstring>(n, 2, [&](net::PartyContext& ctx, int id) {
+    const Bitstring v =
+        Bitstring::from_string(id % 2 ? "10110011" : "10010011");
+    return add_last_bit(ctx, f.bin, 8, v, prefix);
+  });
+  EXPECT_TRUE(all_agree(run.outputs));
+  const std::string ext = run.outputs[0]->to_string();
+  EXPECT_TRUE(ext == "100" || ext == "101") << ext;
+}
+
+TEST(AddLastBit, UnanimousNextBitIsForced) {
+  const int n = 4;
+  Fixture f;
+  const Bitstring prefix = Bitstring::from_string("0");
+  auto run = run_parties<Bitstring>(n, 1, [&](net::PartyContext& ctx, int) {
+    return add_last_bit(ctx, f.bin, 4, Bitstring::from_string("0111"), prefix);
+  });
+  for (const auto& out : run.outputs) EXPECT_EQ(out->to_string(), "01");
+}
+
+TEST(AddLastBit, RejectsFullPrefix) {
+  Fixture f;
+  net::SyncNetwork net(4, 1);
+  for (int id = 0; id < 4; ++id) {
+    net.set_honest(id, [&](net::PartyContext& ctx) {
+      (void)add_last_bit(ctx, f.bin, 3, Bitstring::zeros(3),
+                         Bitstring::zeros(3));
+    });
+  }
+  EXPECT_THROW(net.run(), Error);
+}
+
+TEST(GetOutput, PicksMinWhenWitnessesAreBelow) {
+  // All witnesses lie below MIN(prefix): every announcement is B = 0, so
+  // the output must be MIN_l(prefix).
+  const int n = 7;
+  Fixture f;
+  const Bitstring prefix = Bitstring::from_string("11");
+  auto run = run_parties<Bitstring>(n, 2, [&](net::PartyContext& ctx, int) {
+    return get_output(ctx, f.bin, 8, Bitstring::from_u64(5, 8), prefix);
+  });
+  for (const auto& out : run.outputs) {
+    EXPECT_EQ(*out, Bitstring::min_fill(prefix, 8));
+  }
+}
+
+TEST(GetOutput, PicksMaxWhenWitnessesAreAbove) {
+  const int n = 7;
+  Fixture f;
+  const Bitstring prefix = Bitstring::from_string("00");
+  auto run = run_parties<Bitstring>(n, 2, [&](net::PartyContext& ctx, int) {
+    return get_output(ctx, f.bin, 8, Bitstring::from_u64(200, 8), prefix);
+  });
+  for (const auto& out : run.outputs) {
+    EXPECT_EQ(*out, Bitstring::max_fill(prefix, 8));
+  }
+}
+
+TEST(GetOutput, MixedWitnessesPickOneConsistentSide) {
+  // Witnesses on both sides: either answer is valid; agreement must hold.
+  const int n = 10;
+  Fixture f;
+  const Bitstring prefix = Bitstring::from_string("01");
+  auto run = run_parties<Bitstring>(n, 3, [&](net::PartyContext& ctx, int id) {
+    const Bitstring v_bot =
+        id % 2 ? Bitstring::from_u64(250, 8) : Bitstring::from_u64(3, 8);
+    return get_output(ctx, f.bin, 8, v_bot, prefix);
+  });
+  EXPECT_TRUE(all_agree(run.outputs));
+  const Bitstring& out = *run.outputs[0];
+  EXPECT_TRUE(out == Bitstring::min_fill(prefix, 8) ||
+              out == Bitstring::max_fill(prefix, 8));
+}
+
+TEST(GetOutput, ByzantineAnnouncersCannotFlipUnanimousSide) {
+  // t+1 honest witnesses all say "below"; t byzantine parties shout "1".
+  // The majority-of-received rule keeps an honest bit.
+  const int n = 7;
+  const int t = 2;
+  Fixture f;
+  const Bitstring prefix = Bitstring::from_string("11");
+  auto run = run_parties<Bitstring>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        // Three honest announcers (witness diverges), two honest silent
+        // (witness matches prefix).
+        const Bitstring v_bot = id < 3 ? Bitstring::from_u64(1, 8)
+                                       : Bitstring::max_fill(prefix, 8);
+        return get_output(ctx, f.bin, 8, v_bot, prefix);
+      },
+      {5, 6}, [](int) { return std::make_shared<adv::ConstantByte>(1); });
+  for (const auto& out : run.outputs) {
+    if (out) {
+      EXPECT_EQ(*out, Bitstring::min_fill(prefix, 8));
+    }
+  }
+}
+
+TEST(GetOutput, EmptyPrefixWorks) {
+  // Degenerate geometry: PREFIX* empty, witnesses anywhere; outputs are
+  // all-zeros or all-ones.
+  const int n = 4;
+  Fixture f;
+  auto run = run_parties<Bitstring>(n, 1, [&](net::PartyContext& ctx, int) {
+    return get_output(ctx, f.bin, 6, Bitstring::from_u64(33, 6), Bitstring());
+  });
+  EXPECT_TRUE(all_agree(run.outputs));
+}
+
+TEST(FixedLengthCA, AllZerosAndAllOnes) {
+  const int n = 4;
+  Fixture f;
+  const FixedLengthCA ca(f.kit);
+  for (const bool ones : {false, true}) {
+    const Bitstring v = ones ? Bitstring::ones(12) : Bitstring::zeros(12);
+    auto run = run_parties<Bitstring>(
+        n, 1, [&](net::PartyContext& ctx, int) { return ca.run(ctx, 12, v); });
+    for (const auto& out : run.outputs) EXPECT_EQ(*out, v);
+  }
+}
+
+TEST(FixedLengthCA, ExtremesAcrossFullRange) {
+  // Inputs at 0 and 2^l - 1: no common prefix at all.
+  const int n = 4;
+  Fixture f;
+  const FixedLengthCA ca(f.kit);
+  auto run = run_parties<Bitstring>(n, 1, [&](net::PartyContext& ctx, int id) {
+    return ca.run(ctx, 10, id < 2 ? Bitstring::zeros(10) : Bitstring::ones(10));
+  });
+  EXPECT_TRUE(all_agree(run.outputs));
+}
+
+TEST(FixedLengthCA, RejectsWrongInputLength) {
+  Fixture f;
+  const FixedLengthCA ca(f.kit);
+  net::SyncNetwork net(4, 1);
+  for (int id = 0; id < 4; ++id) {
+    net.set_honest(id, [&](net::PartyContext& ctx) {
+      (void)ca.run(ctx, 8, Bitstring::zeros(7));
+    });
+  }
+  EXPECT_THROW(net.run(), Error);
+}
+
+TEST(AddLastBlock, AgreedBlockWithinHonestBlockRange) {
+  const int n = 4;
+  const std::size_t block_bits = 8;
+  const std::size_t ell = 16 * block_bits;  // n^2 = 16 blocks
+  const Bitstring prefix = Bitstring::zeros(3 * block_bits);
+  auto run = run_parties<Bitstring>(n, 1, [&](net::PartyContext& ctx, int id) {
+    Bitstring v = prefix;
+    v.append(Bitstring::from_u64(static_cast<std::uint64_t>(100 + id), 8));
+    v.append(Bitstring::zeros(ell - v.size()));
+    return add_last_block(ctx, ell, block_bits, v, prefix);
+  });
+  EXPECT_TRUE(all_agree(run.outputs));
+  const Bitstring block = run.outputs[0]->substr(3 * block_bits, block_bits);
+  const std::uint64_t val = block.to_u64();
+  EXPECT_GE(val, 100u);
+  EXPECT_LE(val, 103u);
+}
+
+TEST(AddLastBlock, RejectsMisalignedPrefix) {
+  net::SyncNetwork net(4, 1);
+  for (int id = 0; id < 4; ++id) {
+    net.set_honest(id, [](net::PartyContext& ctx) {
+      (void)add_last_block(ctx, 64, 8, Bitstring::zeros(64),
+                           Bitstring::zeros(5));  // not block-aligned
+    });
+  }
+  EXPECT_THROW(net.run(), Error);
+}
+
+}  // namespace
+}  // namespace coca::ca

@@ -1,0 +1,156 @@
+// VectorCA: coordinate-wise lifting of scalar CA, plus the gradecast-based
+// AA variant (grouped here to keep binaries balanced).
+#include "ca/vector_ca.h"
+
+#include <gtest/gtest.h>
+
+#include "aa/approximate_agreement.h"
+#include "adversary/strategies.h"
+#include "tests/support.h"
+#include "util/rng.h"
+
+namespace coca::ca {
+namespace {
+
+using test::max_t;
+using test::run_parties;
+
+TEST(VectorCA, AgreementAndBoxValidity) {
+  const int n = 7;
+  const int t = 2;
+  const ConvexAgreement scalar;
+  const VectorCA vca(scalar);
+  const std::size_t dim = 3;
+  Rng rng(1);
+  std::vector<std::vector<BigInt>> inputs;
+  for (int i = 0; i < n; ++i) {
+    std::vector<BigInt> v;
+    for (std::size_t d = 0; d < dim; ++d) {
+      v.emplace_back(static_cast<std::int64_t>(rng.below(100)) - 50);
+    }
+    inputs.push_back(std::move(v));
+  }
+  auto run = run_parties<std::vector<BigInt>>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return vca.run(ctx, inputs[static_cast<std::size_t>(id)]);
+      },
+      {6}, [](int) { return std::make_shared<adv::Garbage>(); });
+  EXPECT_TRUE(test::all_agree(run.outputs));
+  const auto& agreed = *run.outputs[0];
+  ASSERT_EQ(agreed.size(), dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    BigInt lo = inputs[0][d], hi = inputs[0][d];
+    for (int i = 1; i < 6; ++i) {
+      const BigInt& v = inputs[static_cast<std::size_t>(i)][d];
+      if (v < lo) lo = v;
+      if (v > hi) hi = v;
+    }
+    EXPECT_GE(agreed[d], lo) << d;
+    EXPECT_LE(agreed[d], hi) << d;
+  }
+}
+
+TEST(VectorCA, DimensionOneMatchesScalar) {
+  const int n = 4;
+  const ConvexAgreement scalar;
+  const VectorCA vca(scalar);
+  std::vector<BigInt> scalar_outs(n, BigInt(0));
+  auto vec_run = run_parties<std::vector<BigInt>>(
+      n, 1, [&](net::PartyContext& ctx, int id) {
+        return vca.run(ctx, {BigInt(100 + id)});
+      });
+  auto scalar_run = run_parties<BigInt>(n, 1, [&](net::PartyContext& ctx, int id) {
+    return scalar.run(ctx, BigInt(100 + id));
+  });
+  EXPECT_EQ((*vec_run.outputs[0])[0], *scalar_run.outputs[0]);
+}
+
+TEST(VectorCA, RejectsEmptyVector) {
+  const ConvexAgreement scalar;
+  const VectorCA vca(scalar);
+  net::SyncNetwork net(4, 1);
+  for (int id = 0; id < 4; ++id) {
+    net.set_honest(id, [&](net::PartyContext& ctx) {
+      (void)vca.run(ctx, {});
+    });
+  }
+  EXPECT_THROW(net.run(), Error);
+}
+
+}  // namespace
+}  // namespace coca::ca
+
+namespace coca::aa {
+namespace {
+
+using test::max_t;
+using test::run_parties;
+
+class GradecastAASweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GradecastAASweep, ConvergesAndStaysValid) {
+  const int n = GetParam();
+  const int t = max_t(n);
+  const GradecastApproxAgreement aa;
+  Rng rng(static_cast<std::uint64_t>(n) * 3);
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(static_cast<std::int64_t>(rng.below(1 << 16)));
+  }
+  std::set<int> byz;
+  for (int i = 0; i < t; ++i) byz.insert(3 * i);
+  const std::size_t rounds = 18;
+  auto run = run_parties<BigInt>(
+      n, t,
+      [&](net::PartyContext& ctx, int id) {
+        return aa.run(ctx, inputs[static_cast<std::size_t>(id)], rounds);
+      },
+      byz, [](int) { return std::make_shared<adv::Replay>(); });
+
+  std::optional<BigInt> out_lo, out_hi, in_lo, in_hi;
+  for (std::size_t id = 0; id < run.outputs.size(); ++id) {
+    if (!run.outputs[id]) continue;
+    const BigInt& out = *run.outputs[id];
+    if (!out_lo || out < *out_lo) out_lo = out;
+    if (!out_hi || out > *out_hi) out_hi = out;
+    if (!in_lo || inputs[id] < *in_lo) in_lo = inputs[id];
+    if (!in_hi || inputs[id] > *in_hi) in_hi = inputs[id];
+  }
+  EXPECT_GE(*out_lo, *in_lo);
+  EXPECT_LE(*out_hi, *in_hi);
+  EXPECT_LE((*out_hi - *out_lo).magnitude(), BigNat(2 * rounds + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GradecastAASweep,
+                         ::testing::Values(4, 7, 10, 13));
+
+TEST(GradecastAA, AgreesWithHashEchoVariantOnCleanRuns) {
+  // Both update rules are trimmed midpoints over the same accepted
+  // multisets when nobody is byzantine, so outputs coincide exactly.
+  const int n = 7;
+  const int t = 2;
+  const SyncApproxAgreement hash_echo;
+  const GradecastApproxAgreement graded;
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) inputs.emplace_back(1000 * i);
+  const std::size_t rounds = 10;
+  auto a = run_parties<BigInt>(n, t, [&](net::PartyContext& ctx, int id) {
+    return hash_echo.run(ctx, inputs[static_cast<std::size_t>(id)], rounds);
+  });
+  auto b = run_parties<BigInt>(n, t, [&](net::PartyContext& ctx, int id) {
+    return graded.run(ctx, inputs[static_cast<std::size_t>(id)], rounds);
+  });
+  EXPECT_EQ(a.outputs, b.outputs);
+}
+
+TEST(GradecastAA, ThreeRoundsPerIteration) {
+  const GradecastApproxAgreement aa;
+  auto run = run_parties<BigInt>(4, 1, [&](net::PartyContext& ctx, int id) {
+    return aa.run(ctx, BigInt(id), 5);
+  });
+  EXPECT_EQ(run.stats.rounds, 15u);
+}
+
+}  // namespace
+}  // namespace coca::aa

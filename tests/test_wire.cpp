@@ -1,0 +1,155 @@
+// Wire format: round trips plus adversarial (malformed/truncated) decoding.
+#include "util/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "ba/ba_interface.h"
+#include "util/rng.h"
+
+namespace coca {
+namespace {
+
+TEST(Wire, IntegerRoundTrips) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  const Bytes buf = std::move(w).take();
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8);
+
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, BytesRoundTrip) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.bytes(Bytes{});
+  Reader r(w.peek());
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.bytes(), Bytes{});
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, BitstringRoundTrip) {
+  Rng rng(1);
+  for (const std::size_t len : {0u, 1u, 7u, 8u, 9u, 1000u}) {
+    const Bitstring b = rng.bits(len);
+    Writer w;
+    w.bitstring(b);
+    Reader r(w.peek());
+    EXPECT_EQ(r.bitstring(), b);
+  }
+}
+
+TEST(Wire, BigNatRoundTrip) {
+  Rng rng(2);
+  for (int iter = 0; iter < 50; ++iter) {
+    const BigNat v = rng.nat_below_pow2(1 + rng.below(500));
+    Writer w;
+    w.bignat(v);
+    Reader r(w.peek());
+    EXPECT_EQ(r.bignat(), v);
+  }
+  Writer w;
+  w.bignat(BigNat(0));
+  Reader r(w.peek());
+  EXPECT_EQ(r.bignat(), BigNat(0));
+}
+
+TEST(Wire, ReaderRefusesUnderrun) {
+  const Bytes buf{1, 2};
+  Reader r(buf);
+  EXPECT_EQ(r.u32(), std::nullopt);
+  EXPECT_EQ(r.remaining(), 2u);  // failed reads consume nothing
+  EXPECT_EQ(r.u16(), 0x0201);
+  EXPECT_EQ(r.u8(), std::nullopt);
+}
+
+TEST(Wire, BytesRejectsLyingLengthField) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  Reader r(w.peek());
+  EXPECT_EQ(r.bytes(), std::nullopt);
+}
+
+TEST(Wire, BitstringRejectsAbsurdBitCount) {
+  Writer w;
+  w.u64(~std::uint64_t{0});  // ~2^64 bits claimed
+  w.u8(0xFF);
+  Reader r(w.peek());
+  EXPECT_EQ(r.bitstring(), std::nullopt);
+}
+
+TEST(Wire, BignatRejectsNonCanonicalEncoding) {
+  // A leading zero bit would let two encodings denote one value.
+  Writer w;
+  w.bitstring(Bitstring::from_string("0101"));
+  Reader r(w.peek());
+  EXPECT_EQ(r.bignat(), std::nullopt);
+}
+
+TEST(Wire, ReaderFuzzNeverCrashes) {
+  // Random bytes through every decoder: must return nullopt or a value,
+  // never crash or over-read.
+  Rng rng(99);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const Bytes junk = rng.bytes(rng.below(64));
+    {
+      Reader r(junk);
+      (void)r.bytes();
+    }
+    {
+      Reader r(junk);
+      (void)r.bitstring();
+    }
+    {
+      Reader r(junk);
+      (void)r.bignat();
+    }
+    {
+      Reader r(junk);
+      (void)r.u64();
+      (void)r.u32();
+      (void)r.u16();
+      (void)r.u8();
+    }
+  }
+}
+
+TEST(Wire, MaybeBytesEncoding) {
+  using ba::decode_maybe;
+  using ba::encode_maybe;
+  const ba::MaybeBytes bottom = std::nullopt;
+  const ba::MaybeBytes value = Bytes{9, 8, 7};
+  // Note the nesting: decode_maybe returns optional<MaybeBytes> where the
+  // outer layer means "well-formed" and the inner is the domain value.
+  const auto decoded_bottom = decode_maybe(encode_maybe(bottom));
+  ASSERT_TRUE(decoded_bottom.has_value());
+  EXPECT_FALSE(decoded_bottom->has_value());
+  EXPECT_EQ(*decode_maybe(encode_maybe(value)), value);
+  // Distinct canonical encodings.
+  EXPECT_NE(encode_maybe(bottom), encode_maybe(value));
+  // Trailing garbage rejected.
+  Bytes enc = encode_maybe(value);
+  enc.push_back(0x00);
+  EXPECT_EQ(decode_maybe(enc), std::nullopt);
+  // Unknown tag rejected.
+  EXPECT_EQ(decode_maybe(Bytes{7}), std::nullopt);
+  EXPECT_EQ(decode_maybe(Bytes{}), std::nullopt);
+}
+
+TEST(Wire, MaybeBytesFuzz) {
+  Rng rng(123);
+  for (int iter = 0; iter < 2000; ++iter) {
+    (void)ba::decode_maybe(rng.bytes(rng.below(32)));
+  }
+}
+
+}  // namespace
+}  // namespace coca

@@ -1,0 +1,169 @@
+// Witness-technique async AA (t < n/3): validity and per-round halving
+// against EVERY scheduling policy -- including the static schedule that
+// stalls the plain t < n/5 single-exchange variant.
+#include "async/witnessed_aa.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/wire.h"
+
+namespace coca::async {
+namespace {
+
+struct Outcome {
+  BigNat diameter;
+  bool valid;
+};
+
+Outcome run_waa(int n, int t, Scheduling policy, std::uint64_t seed,
+                const std::vector<BigInt>& inputs, std::size_t rounds,
+                int byz_count) {
+  AsyncNetwork net(n, t, policy, seed);
+  std::vector<std::optional<BigInt>> outputs(n);
+  const WitnessedApproxAgreement aa;
+  for (int id = 0; id < n; ++id) {
+    if (id < byz_count) {
+      // Byzantine: reliable-broadcasts extreme values with valid framing
+      // (worst protocol-conformant input attack), then goes silent.
+      net.set_byzantine_process(id, [n, rounds, id](ProcessContext& ctx) {
+        for (std::uint64_t r = 0; r < rounds; ++r) {
+          Writer inner;
+          inner.u8(id % 2);  // alternate signs
+          inner.bignat(BigNat::pow2(40));
+          Writer w;
+          w.u64(r);
+          w.u8(0);  // INIT
+          w.u32(static_cast<std::uint32_t>(id));
+          w.bytes(inner.peek());
+          for (int to = 0; to < n; ++to) ctx.send(to, w.peek());
+        }
+      });
+    } else {
+      net.set_process(id, [&, id](ProcessContext& ctx) {
+        aa.run(ctx, inputs[static_cast<std::size_t>(id)], rounds,
+               [&outputs, id](const BigInt& v) {
+                 outputs[static_cast<std::size_t>(id)] = v;
+               });
+      });
+    }
+  }
+  (void)net.run();
+
+  std::optional<BigInt> out_lo, out_hi, in_lo, in_hi;
+  for (int id = byz_count; id < n; ++id) {
+    EXPECT_TRUE(outputs[static_cast<std::size_t>(id)].has_value()) << id;
+    const BigInt& out = *outputs[static_cast<std::size_t>(id)];
+    const BigInt& in = inputs[static_cast<std::size_t>(id)];
+    if (!out_lo || out < *out_lo) out_lo = out;
+    if (!out_hi || out > *out_hi) out_hi = out;
+    if (!in_lo || in < *in_lo) in_lo = in;
+    if (!in_hi || in > *in_hi) in_hi = in;
+  }
+  return {(*out_hi - *out_lo).magnitude(),
+          *in_lo <= *out_lo && *out_hi <= *in_hi};
+}
+
+class WitnessedSweep
+    : public ::testing::TestWithParam<std::tuple<Scheduling, int, int>> {};
+
+TEST_P(WitnessedSweep, HalvesUnderEveryScheduler) {
+  const auto [policy, n, seed] = GetParam();
+  const int t = (n - 1) / 3;
+  Rng rng(static_cast<std::uint64_t>(seed) * 131 + static_cast<unsigned>(n));
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(static_cast<std::int64_t>(rng.below(1 << 16)));
+  }
+  const std::size_t rounds = 12;
+  const Outcome o = run_waa(n, t, policy, static_cast<std::uint64_t>(seed),
+                            inputs, rounds, /*byz_count=*/t);
+  EXPECT_TRUE(o.valid);
+  // Guaranteed halving per round plus +-1 truncation slack per round.
+  EXPECT_LE(o.diameter, (BigNat(1 << 16) >> rounds) + BigNat(2 * rounds))
+      << "policy=" << static_cast<int>(policy);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, WitnessedSweep,
+    ::testing::Combine(::testing::Values(Scheduling::kFifo,
+                                         Scheduling::kRandomDelay,
+                                         Scheduling::kLagLowIds),
+                       ::testing::Values(4, 7, 10),
+                       ::testing::Values(1, 2)));
+
+TEST(WitnessedAA, BeatsPlainVariantOnStaticSchedules) {
+  // The scenario that freezes the single-exchange t < n/5 variant (see
+  // test_async_protocols.cpp) contracts fine here, at t < n/3 no less.
+  const int n = 10;
+  const int t = 3;
+  Rng rng(71);
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(static_cast<std::int64_t>(rng.below(1 << 20)));
+  }
+  const std::size_t rounds = 16;
+  const Outcome o =
+      run_waa(n, t, Scheduling::kFifo, 1, inputs, rounds, /*byz_count=*/t);
+  EXPECT_TRUE(o.valid);
+  EXPECT_LE(o.diameter, (BigNat(1 << 20) >> rounds) + BigNat(2 * rounds));
+}
+
+TEST(WitnessedAA, CrashedProcessesTolerated) {
+  const int n = 7;
+  const int t = 2;
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) inputs.emplace_back(1000 + 100 * i);
+  AsyncNetwork net(n, t, Scheduling::kRandomDelay, 5);
+  std::vector<std::optional<BigInt>> outputs(n);
+  const WitnessedApproxAgreement aa;
+  for (int id = 0; id < n; ++id) {
+    if (id < t) {
+      net.set_byzantine_process(id, [](ProcessContext&) {});  // crashed
+    } else {
+      net.set_process(id, [&, id](ProcessContext& ctx) {
+        aa.run(ctx, inputs[static_cast<std::size_t>(id)], 10,
+               [&outputs, id](const BigInt& v) {
+                 outputs[static_cast<std::size_t>(id)] = v;
+               });
+      });
+    }
+  }
+  EXPECT_NO_THROW((void)net.run());
+  for (int id = t; id < n; ++id) {
+    ASSERT_TRUE(outputs[static_cast<std::size_t>(id)].has_value());
+    EXPECT_GE(*outputs[static_cast<std::size_t>(id)], BigInt(1000 + 100 * t));
+    EXPECT_LE(*outputs[static_cast<std::size_t>(id)], BigInt(1600));
+  }
+}
+
+TEST(WitnessedAA, IdenticalInputsFixed) {
+  const int n = 4;
+  const int t = 1;
+  AsyncNetwork net(n, t, Scheduling::kLagLowIds, 2);
+  std::vector<std::optional<BigInt>> outputs(n);
+  const WitnessedApproxAgreement aa;
+  for (int id = 0; id < n; ++id) {
+    net.set_process(id, [&, id](ProcessContext& ctx) {
+      aa.run(ctx, BigInt(-555), 6, [&outputs, id](const BigInt& v) {
+        outputs[static_cast<std::size_t>(id)] = v;
+      });
+    });
+  }
+  (void)net.run();
+  for (const auto& out : outputs) EXPECT_EQ(*out, BigInt(-555));
+}
+
+TEST(WitnessedAA, RejectsTooManyCorruptions) {
+  AsyncNetwork net(6, 2, Scheduling::kFifo, 1);  // 6 = 3*2, not > 3t
+  const WitnessedApproxAgreement aa;
+  for (int id = 0; id < 6; ++id) {
+    net.set_process(id, [&aa](ProcessContext& ctx) {
+      aa.run(ctx, BigInt(1), 2, [](const BigInt&) {});
+    });
+  }
+  EXPECT_THROW((void)net.run(), Error);
+}
+
+}  // namespace
+}  // namespace coca::async
