@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aa.dir/bench_aa.cpp.o"
+  "CMakeFiles/bench_aa.dir/bench_aa.cpp.o.d"
+  "bench_aa"
+  "bench_aa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ba_choice.dir/bench_ba_choice.cpp.o"
+  "CMakeFiles/bench_ba_choice.dir/bench_ba_choice.cpp.o.d"
+  "bench_ba_choice"
+  "bench_ba_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ba_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

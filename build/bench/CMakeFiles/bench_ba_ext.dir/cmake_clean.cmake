@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ba_ext.dir/bench_ba_ext.cpp.o"
+  "CMakeFiles/bench_ba_ext.dir/bench_ba_ext.cpp.o.d"
+  "bench_ba_ext"
+  "bench_ba_ext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ba_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

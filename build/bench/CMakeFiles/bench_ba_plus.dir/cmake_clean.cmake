@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ba_plus.dir/bench_ba_plus.cpp.o"
+  "CMakeFiles/bench_ba_plus.dir/bench_ba_plus.cpp.o.d"
+  "bench_ba_plus"
+  "bench_ba_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ba_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_ba_plus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comm_vs_ell.dir/bench_comm_vs_ell.cpp.o"
+  "CMakeFiles/bench_comm_vs_ell.dir/bench_comm_vs_ell.cpp.o.d"
+  "bench_comm_vs_ell"
+  "bench_comm_vs_ell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comm_vs_ell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signed.dir/bench_signed.cpp.o"
+  "CMakeFiles/bench_signed.dir/bench_signed.cpp.o.d"
+  "bench_signed"
+  "bench_signed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/async_oracle.dir/async_oracle.cpp.o"
+  "CMakeFiles/async_oracle.dir/async_oracle.cpp.o.d"
+  "async_oracle"
+  "async_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/async_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

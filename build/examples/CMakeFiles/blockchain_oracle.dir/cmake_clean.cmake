@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockchain_oracle.dir/blockchain_oracle.cpp.o"
+  "CMakeFiles/blockchain_oracle.dir/blockchain_oracle.cpp.o.d"
+  "blockchain_oracle"
+  "blockchain_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockchain_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_ordering.dir/clock_ordering.cpp.o"
+  "CMakeFiles/clock_ordering.dir/clock_ordering.cpp.o.d"
+  "clock_ordering"
+  "clock_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/coca_sim.cpp" "examples/CMakeFiles/coca_sim.dir/coca_sim.cpp.o" "gcc" "examples/CMakeFiles/coca_sim.dir/coca_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ca/CMakeFiles/coca_ca.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/coca_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/aa/CMakeFiles/coca_aa.dir/DependInfo.cmake"
+  "/root/repo/build/src/ba/CMakeFiles/coca_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/coca_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/coca_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coca_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/async/CMakeFiles/coca_async.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_sim.dir/coca_sim.cpp.o"
+  "CMakeFiles/coca_sim.dir/coca_sim.cpp.o.d"
+  "coca_sim"
+  "coca_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_aa.dir/approximate_agreement.cpp.o"
+  "CMakeFiles/coca_aa.dir/approximate_agreement.cpp.o.d"
+  "libcoca_aa.a"
+  "libcoca_aa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_aa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

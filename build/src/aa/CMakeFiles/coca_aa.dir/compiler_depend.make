@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for coca_aa.
+# This may be replaced when dependencies are built.

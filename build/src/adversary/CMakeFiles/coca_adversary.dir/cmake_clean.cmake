@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_adversary.dir/spec.cpp.o"
+  "CMakeFiles/coca_adversary.dir/spec.cpp.o.d"
+  "libcoca_adversary.a"
+  "libcoca_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/async/async_aa.cpp" "src/async/CMakeFiles/coca_async.dir/async_aa.cpp.o" "gcc" "src/async/CMakeFiles/coca_async.dir/async_aa.cpp.o.d"
+  "/root/repo/src/async/async_network.cpp" "src/async/CMakeFiles/coca_async.dir/async_network.cpp.o" "gcc" "src/async/CMakeFiles/coca_async.dir/async_network.cpp.o.d"
+  "/root/repo/src/async/bracha_rbc.cpp" "src/async/CMakeFiles/coca_async.dir/bracha_rbc.cpp.o" "gcc" "src/async/CMakeFiles/coca_async.dir/bracha_rbc.cpp.o.d"
+  "/root/repo/src/async/witnessed_aa.cpp" "src/async/CMakeFiles/coca_async.dir/witnessed_aa.cpp.o" "gcc" "src/async/CMakeFiles/coca_async.dir/witnessed_aa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

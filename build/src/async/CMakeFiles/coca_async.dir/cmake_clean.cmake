@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_async.dir/async_aa.cpp.o"
+  "CMakeFiles/coca_async.dir/async_aa.cpp.o.d"
+  "CMakeFiles/coca_async.dir/async_network.cpp.o"
+  "CMakeFiles/coca_async.dir/async_network.cpp.o.d"
+  "CMakeFiles/coca_async.dir/bracha_rbc.cpp.o"
+  "CMakeFiles/coca_async.dir/bracha_rbc.cpp.o.d"
+  "CMakeFiles/coca_async.dir/witnessed_aa.cpp.o"
+  "CMakeFiles/coca_async.dir/witnessed_aa.cpp.o.d"
+  "libcoca_async.a"
+  "libcoca_async.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ba/ba_plus.cpp" "src/ba/CMakeFiles/coca_ba.dir/ba_plus.cpp.o" "gcc" "src/ba/CMakeFiles/coca_ba.dir/ba_plus.cpp.o.d"
+  "/root/repo/src/ba/dolev_strong.cpp" "src/ba/CMakeFiles/coca_ba.dir/dolev_strong.cpp.o" "gcc" "src/ba/CMakeFiles/coca_ba.dir/dolev_strong.cpp.o.d"
+  "/root/repo/src/ba/gradecast.cpp" "src/ba/CMakeFiles/coca_ba.dir/gradecast.cpp.o" "gcc" "src/ba/CMakeFiles/coca_ba.dir/gradecast.cpp.o.d"
+  "/root/repo/src/ba/long_ba_plus.cpp" "src/ba/CMakeFiles/coca_ba.dir/long_ba_plus.cpp.o" "gcc" "src/ba/CMakeFiles/coca_ba.dir/long_ba_plus.cpp.o.d"
+  "/root/repo/src/ba/phase_king.cpp" "src/ba/CMakeFiles/coca_ba.dir/phase_king.cpp.o" "gcc" "src/ba/CMakeFiles/coca_ba.dir/phase_king.cpp.o.d"
+  "/root/repo/src/ba/turpin_coan.cpp" "src/ba/CMakeFiles/coca_ba.dir/turpin_coan.cpp.o" "gcc" "src/ba/CMakeFiles/coca_ba.dir/turpin_coan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/coca_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/coca_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coca_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

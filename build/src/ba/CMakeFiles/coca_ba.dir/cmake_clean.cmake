@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_ba.dir/ba_plus.cpp.o"
+  "CMakeFiles/coca_ba.dir/ba_plus.cpp.o.d"
+  "CMakeFiles/coca_ba.dir/dolev_strong.cpp.o"
+  "CMakeFiles/coca_ba.dir/dolev_strong.cpp.o.d"
+  "CMakeFiles/coca_ba.dir/gradecast.cpp.o"
+  "CMakeFiles/coca_ba.dir/gradecast.cpp.o.d"
+  "CMakeFiles/coca_ba.dir/long_ba_plus.cpp.o"
+  "CMakeFiles/coca_ba.dir/long_ba_plus.cpp.o.d"
+  "CMakeFiles/coca_ba.dir/phase_king.cpp.o"
+  "CMakeFiles/coca_ba.dir/phase_king.cpp.o.d"
+  "CMakeFiles/coca_ba.dir/turpin_coan.cpp.o"
+  "CMakeFiles/coca_ba.dir/turpin_coan.cpp.o.d"
+  "libcoca_ba.a"
+  "libcoca_ba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_ba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ca/broadcast_ca.cpp" "src/ca/CMakeFiles/coca_ca.dir/broadcast_ca.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/broadcast_ca.cpp.o.d"
+  "/root/repo/src/ca/convex_agreement.cpp" "src/ca/CMakeFiles/coca_ca.dir/convex_agreement.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/convex_agreement.cpp.o.d"
+  "/root/repo/src/ca/driver.cpp" "src/ca/CMakeFiles/coca_ca.dir/driver.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/driver.cpp.o.d"
+  "/root/repo/src/ca/find_prefix.cpp" "src/ca/CMakeFiles/coca_ca.dir/find_prefix.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/find_prefix.cpp.o.d"
+  "/root/repo/src/ca/fixed_length_ca.cpp" "src/ca/CMakeFiles/coca_ca.dir/fixed_length_ca.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/fixed_length_ca.cpp.o.d"
+  "/root/repo/src/ca/fixed_length_ca_blocks.cpp" "src/ca/CMakeFiles/coca_ca.dir/fixed_length_ca_blocks.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/fixed_length_ca_blocks.cpp.o.d"
+  "/root/repo/src/ca/get_output.cpp" "src/ca/CMakeFiles/coca_ca.dir/get_output.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/get_output.cpp.o.d"
+  "/root/repo/src/ca/high_cost_ca.cpp" "src/ca/CMakeFiles/coca_ca.dir/high_cost_ca.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/high_cost_ca.cpp.o.d"
+  "/root/repo/src/ca/pi_n.cpp" "src/ca/CMakeFiles/coca_ca.dir/pi_n.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/pi_n.cpp.o.d"
+  "/root/repo/src/ca/pi_z.cpp" "src/ca/CMakeFiles/coca_ca.dir/pi_z.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/pi_z.cpp.o.d"
+  "/root/repo/src/ca/signed_ca.cpp" "src/ca/CMakeFiles/coca_ca.dir/signed_ca.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/signed_ca.cpp.o.d"
+  "/root/repo/src/ca/vector_ca.cpp" "src/ca/CMakeFiles/coca_ca.dir/vector_ca.cpp.o" "gcc" "src/ca/CMakeFiles/coca_ca.dir/vector_ca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ba/CMakeFiles/coca_ba.dir/DependInfo.cmake"
+  "/root/repo/build/src/adversary/CMakeFiles/coca_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/coca_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/coca_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/coca_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/coca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_ca.dir/broadcast_ca.cpp.o"
+  "CMakeFiles/coca_ca.dir/broadcast_ca.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/convex_agreement.cpp.o"
+  "CMakeFiles/coca_ca.dir/convex_agreement.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/driver.cpp.o"
+  "CMakeFiles/coca_ca.dir/driver.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/find_prefix.cpp.o"
+  "CMakeFiles/coca_ca.dir/find_prefix.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/fixed_length_ca.cpp.o"
+  "CMakeFiles/coca_ca.dir/fixed_length_ca.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/fixed_length_ca_blocks.cpp.o"
+  "CMakeFiles/coca_ca.dir/fixed_length_ca_blocks.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/get_output.cpp.o"
+  "CMakeFiles/coca_ca.dir/get_output.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/high_cost_ca.cpp.o"
+  "CMakeFiles/coca_ca.dir/high_cost_ca.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/pi_n.cpp.o"
+  "CMakeFiles/coca_ca.dir/pi_n.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/pi_z.cpp.o"
+  "CMakeFiles/coca_ca.dir/pi_z.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/signed_ca.cpp.o"
+  "CMakeFiles/coca_ca.dir/signed_ca.cpp.o.d"
+  "CMakeFiles/coca_ca.dir/vector_ca.cpp.o"
+  "CMakeFiles/coca_ca.dir/vector_ca.cpp.o.d"
+  "libcoca_ca.a"
+  "libcoca_ca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_codec.dir/gf16.cpp.o"
+  "CMakeFiles/coca_codec.dir/gf16.cpp.o.d"
+  "CMakeFiles/coca_codec.dir/reed_solomon.cpp.o"
+  "CMakeFiles/coca_codec.dir/reed_solomon.cpp.o.d"
+  "libcoca_codec.a"
+  "libcoca_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/coca_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/coca_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/coca_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/coca_crypto.dir/sim_signatures.cpp.o"
+  "CMakeFiles/coca_crypto.dir/sim_signatures.cpp.o.d"
+  "libcoca_crypto.a"
+  "libcoca_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_net.dir/sync_network.cpp.o"
+  "CMakeFiles/coca_net.dir/sync_network.cpp.o.d"
+  "libcoca_net.a"
+  "libcoca_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

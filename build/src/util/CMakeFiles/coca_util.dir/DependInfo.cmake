@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/bignat.cpp" "src/util/CMakeFiles/coca_util.dir/bignat.cpp.o" "gcc" "src/util/CMakeFiles/coca_util.dir/bignat.cpp.o.d"
+  "/root/repo/src/util/bitstring.cpp" "src/util/CMakeFiles/coca_util.dir/bitstring.cpp.o" "gcc" "src/util/CMakeFiles/coca_util.dir/bitstring.cpp.o.d"
+  "/root/repo/src/util/fixed_point.cpp" "src/util/CMakeFiles/coca_util.dir/fixed_point.cpp.o" "gcc" "src/util/CMakeFiles/coca_util.dir/fixed_point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

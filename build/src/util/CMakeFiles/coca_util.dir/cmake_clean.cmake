@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coca_util.dir/bignat.cpp.o"
+  "CMakeFiles/coca_util.dir/bignat.cpp.o.d"
+  "CMakeFiles/coca_util.dir/bitstring.cpp.o"
+  "CMakeFiles/coca_util.dir/bitstring.cpp.o.d"
+  "CMakeFiles/coca_util.dir/fixed_point.cpp.o"
+  "CMakeFiles/coca_util.dir/fixed_point.cpp.o.d"
+  "libcoca_util.a"
+  "libcoca_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coca_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approximate_agreement.dir/test_approximate_agreement.cpp.o"
+  "CMakeFiles/test_approximate_agreement.dir/test_approximate_agreement.cpp.o.d"
+  "test_approximate_agreement"
+  "test_approximate_agreement.pdb"
+  "test_approximate_agreement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approximate_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

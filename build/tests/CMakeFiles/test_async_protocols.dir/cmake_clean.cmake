@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_async_protocols.dir/test_async_protocols.cpp.o"
+  "CMakeFiles/test_async_protocols.dir/test_async_protocols.cpp.o.d"
+  "test_async_protocols"
+  "test_async_protocols.pdb"
+  "test_async_protocols[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_async_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bignat.dir/test_bignat.cpp.o"
+  "CMakeFiles/test_bignat.dir/test_bignat.cpp.o.d"
+  "test_bignat"
+  "test_bignat.pdb"
+  "test_bignat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bignat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

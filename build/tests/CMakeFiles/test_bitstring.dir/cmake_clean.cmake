@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bitstring.dir/test_bitstring.cpp.o"
+  "CMakeFiles/test_bitstring.dir/test_bitstring.cpp.o.d"
+  "test_bitstring"
+  "test_bitstring.pdb"
+  "test_bitstring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bitstring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

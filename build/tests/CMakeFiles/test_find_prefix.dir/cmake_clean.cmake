@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_find_prefix.dir/test_find_prefix.cpp.o"
+  "CMakeFiles/test_find_prefix.dir/test_find_prefix.cpp.o.d"
+  "test_find_prefix"
+  "test_find_prefix.pdb"
+  "test_find_prefix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_find_prefix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

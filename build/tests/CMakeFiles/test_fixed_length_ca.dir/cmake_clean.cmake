@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fixed_length_ca.dir/test_fixed_length_ca.cpp.o"
+  "CMakeFiles/test_fixed_length_ca.dir/test_fixed_length_ca.cpp.o.d"
+  "test_fixed_length_ca"
+  "test_fixed_length_ca.pdb"
+  "test_fixed_length_ca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fixed_length_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

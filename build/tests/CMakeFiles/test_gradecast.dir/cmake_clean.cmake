@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gradecast.dir/test_gradecast.cpp.o"
+  "CMakeFiles/test_gradecast.dir/test_gradecast.cpp.o.d"
+  "test_gradecast"
+  "test_gradecast.pdb"
+  "test_gradecast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gradecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

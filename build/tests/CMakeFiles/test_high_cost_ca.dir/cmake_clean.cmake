@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_high_cost_ca.dir/test_high_cost_ca.cpp.o"
+  "CMakeFiles/test_high_cost_ca.dir/test_high_cost_ca.cpp.o.d"
+  "test_high_cost_ca"
+  "test_high_cost_ca.pdb"
+  "test_high_cost_ca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_high_cost_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_high_cost_ca.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_long_ba_plus.dir/test_long_ba_plus.cpp.o"
+  "CMakeFiles/test_long_ba_plus.dir/test_long_ba_plus.cpp.o.d"
+  "test_long_ba_plus"
+  "test_long_ba_plus.pdb"
+  "test_long_ba_plus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_long_ba_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

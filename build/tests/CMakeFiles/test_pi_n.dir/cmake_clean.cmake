@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pi_n.dir/test_pi_n.cpp.o"
+  "CMakeFiles/test_pi_n.dir/test_pi_n.cpp.o.d"
+  "test_pi_n"
+  "test_pi_n.pdb"
+  "test_pi_n[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pi_n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

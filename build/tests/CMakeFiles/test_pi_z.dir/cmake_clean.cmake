@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pi_z.dir/test_pi_z.cpp.o"
+  "CMakeFiles/test_pi_z.dir/test_pi_z.cpp.o.d"
+  "test_pi_z"
+  "test_pi_z.pdb"
+  "test_pi_z[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pi_z.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_remarks.dir/test_remarks.cpp.o"
+  "CMakeFiles/test_remarks.dir/test_remarks.cpp.o.d"
+  "test_remarks"
+  "test_remarks.pdb"
+  "test_remarks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_remarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

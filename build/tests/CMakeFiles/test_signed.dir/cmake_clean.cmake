@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signed.dir/test_signed.cpp.o"
+  "CMakeFiles/test_signed.dir/test_signed.cpp.o.d"
+  "test_signed"
+  "test_signed.pdb"
+  "test_signed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subprotocol_edges.dir/test_subprotocol_edges.cpp.o"
+  "CMakeFiles/test_subprotocol_edges.dir/test_subprotocol_edges.cpp.o.d"
+  "test_subprotocol_edges"
+  "test_subprotocol_edges.pdb"
+  "test_subprotocol_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subprotocol_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

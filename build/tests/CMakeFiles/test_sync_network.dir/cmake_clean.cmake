@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_network.dir/test_sync_network.cpp.o"
+  "CMakeFiles/test_sync_network.dir/test_sync_network.cpp.o.d"
+  "test_sync_network"
+  "test_sync_network.pdb"
+  "test_sync_network[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

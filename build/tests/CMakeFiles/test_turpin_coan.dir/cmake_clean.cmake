@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_turpin_coan.dir/test_turpin_coan.cpp.o"
+  "CMakeFiles/test_turpin_coan.dir/test_turpin_coan.cpp.o.d"
+  "test_turpin_coan"
+  "test_turpin_coan.pdb"
+  "test_turpin_coan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_turpin_coan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vector_ca.dir/test_vector_ca.cpp.o"
+  "CMakeFiles/test_vector_ca.dir/test_vector_ca.cpp.o.d"
+  "test_vector_ca"
+  "test_vector_ca.pdb"
+  "test_vector_ca[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vector_ca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_witnessed_aa.dir/test_witnessed_aa.cpp.o"
+  "CMakeFiles/test_witnessed_aa.dir/test_witnessed_aa.cpp.o.d"
+  "test_witnessed_aa"
+  "test_witnessed_aa.pdb"
+  "test_witnessed_aa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_witnessed_aa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
