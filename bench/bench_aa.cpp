@@ -9,7 +9,8 @@
 
 #include "aa/approximate_agreement.h"
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using namespace coca;
   using namespace coca::bench;
 

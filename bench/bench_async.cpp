@@ -118,7 +118,8 @@ AaRun run_witnessed(int n, int t, Scheduling policy, std::size_t rounds,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using coca::bench::human_bits;
 
   std::printf("# Async-a: Bracha reliable broadcast cost (honest bits)\n");

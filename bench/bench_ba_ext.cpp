@@ -10,7 +10,8 @@
 #include "ba/phase_king.h"
 #include "ba/turpin_coan.h"
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using namespace coca;
   using namespace coca::bench;
 

@@ -13,7 +13,8 @@
 #include "ca/fixed_length_ca.h"
 #include "ca/fixed_length_ca_blocks.h"
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using namespace coca;
   using namespace coca::bench;
 

@@ -6,7 +6,8 @@
 // l; the distributing step inside Pi_lBA+ accounts for the O(l n) term.
 #include "bench_support.h"
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using namespace coca;
   using namespace coca::bench;
 

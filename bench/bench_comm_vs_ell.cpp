@@ -6,7 +6,8 @@
 // communication-optimality.
 #include "bench_support.h"
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using namespace coca;
   using namespace coca::bench;
 

@@ -7,7 +7,8 @@
 // growing with l afterwards (approaching ~n against the O(l n^2) baseline).
 #include "bench_support.h"
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using namespace coca;
   using namespace coca::bench;
 

@@ -7,7 +7,8 @@
 // Costs must stay within the same asymptotic envelope in all cases.
 #include "bench_support.h"
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using namespace coca;
   using namespace coca::bench;
 

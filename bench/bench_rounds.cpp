@@ -7,7 +7,8 @@
 // extra factor n versus an interleaved implementation (see EXPERIMENTS.md).
 #include "bench_support.h"
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using namespace coca;
   using namespace coca::bench;
 

@@ -52,7 +52,8 @@ bench::Cost signed_ca_cost(int n, std::size_t bits_len,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  coca::bench::parse_args(argc, argv);
   using namespace coca::bench;
 
   std::printf("# Signed-a: Dolev-Strong broadcast, honest bits "

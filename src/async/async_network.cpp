@@ -48,6 +48,7 @@ struct AsyncNetwork::Impl {
   std::size_t next_seq = 0;
   bool abort = false;
   Scheduling policy = Scheduling::kFifo;
+  net::ExecPolicy exec_policy;  // recorded for driver uniformity; see header
   Rng sched_rng{1};
 };
 
@@ -56,7 +57,12 @@ AsyncNetwork::AsyncNetwork(int n, int t, Scheduling policy, std::uint64_t seed)
   require(n >= 1 && t >= 0 && t < n, "AsyncNetwork: need 0 <= t < n");
   impl_->role.assign(static_cast<std::size_t>(n), 0);
   impl_->policy = policy;
-  impl_->sched_rng = Rng(seed ^ 0xA57C0CA);
+  impl_->sched_rng = Rng::stream(kSchedulerSeedDomain, seed);
+}
+
+void AsyncNetwork::set_exec_policy(net::ExecPolicy policy) {
+  require(policy.threads >= 0, "AsyncNetwork::set_exec_policy: bad threads");
+  impl_->exec_policy = policy;
 }
 
 AsyncNetwork::~AsyncNetwork() {
@@ -89,8 +95,10 @@ void AsyncNetwork::set_process(int id, ProcessFn fn) {
   p->honest = true;
   p->fn = std::move(fn);
   const std::size_t index = impl_->processes.size();
-  p->ctx.reset(new ProcessContext(*this, index, id,
-                                  0xA57C0CA0ULL ^ static_cast<unsigned>(id)));
+  p->ctx.reset(new ProcessContext(
+      *this, index, id,
+      Rng::derive_stream_seed(kProcessSeedDomain,
+                              static_cast<std::uint64_t>(id) << 1)));
   impl_->processes.push_back(std::move(p));
 }
 
@@ -103,8 +111,10 @@ void AsyncNetwork::set_byzantine_process(int id, ProcessFn fn) {
   p->honest = false;
   p->fn = std::move(fn);
   const std::size_t index = impl_->processes.size();
-  p->ctx.reset(new ProcessContext(*this, index, id,
-                                  0xBAD5EEDULL ^ static_cast<unsigned>(id)));
+  p->ctx.reset(new ProcessContext(
+      *this, index, id,
+      Rng::derive_stream_seed(kProcessSeedDomain,
+                              (static_cast<std::uint64_t>(id) << 1) | 1)));
   impl_->processes.push_back(std::move(p));
 }
 

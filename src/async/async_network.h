@@ -29,10 +29,17 @@
 #include <functional>
 #include <memory>
 
+#include "net/exec_policy.h"
 #include "util/common.h"
 #include "util/rng.h"
 
 namespace coca::async {
+
+/// Root seed domains for per-process RNG streams and the scheduler stream
+/// (same splittable-stream contract as the sync engine; pinned by
+/// tests/test_rng.cpp).
+inline constexpr std::uint64_t kProcessSeedDomain = 0xA57C0CA0'0000001DULL;
+inline constexpr std::uint64_t kSchedulerSeedDomain = 0xA57C0CA0'000005EDULL;
 
 struct Envelope {
   int from = -1;
@@ -117,6 +124,15 @@ class AsyncNetwork {
   /// A never-installed... every id must get a role; use an empty function
   /// for a crashed (silent) process.
   void set_byzantine_process(int id, ProcessFn fn);
+
+  /// Accepts the shared driver scheduling policy. The asynchronous
+  /// scheduler *is* the adversary here: reproducibility of an adversarial
+  /// schedule requires exactly one process to execute between deliveries,
+  /// so every window collapses to serial execution -- the policy is
+  /// validated and recorded, and parallelism across independent
+  /// AsyncNetwork instances (e.g. bench sweeps) is the supported way to
+  /// use extra cores.
+  void set_exec_policy(net::ExecPolicy policy);
 
   /// Runs until every process returned. Throws on deadlock, on a process
   /// exception, or past `max_deliveries`.

@@ -35,6 +35,8 @@ SimResult run_simulation(const CAProtocol& protocol, const SimConfig& config) {
   require(config.inputs.size() == static_cast<std::size_t>(config.n),
           "run_simulation: need one input slot per party");
   net::SyncNetwork net(config.n, config.t);
+  if (config.threads > 0) net.set_exec_policy({config.threads});
+  if (config.transcript != nullptr) net.set_transcript(config.transcript);
   SimResult result;
   result.outputs.resize(static_cast<std::size_t>(config.n));
 

@@ -41,15 +41,24 @@ struct SyncNetwork::Runner {
   std::unique_ptr<PartyContext> ctx;
   std::thread thread;
 
-  enum class State { Ready, Running, AtBarrier, Finished };
-  State state = State::Ready;           // guarded by Impl::mu
-  std::size_t parked_gen = 0;           // generation this runner waits on
-  std::exception_ptr error;             // guarded by Impl::mu
-  std::vector<Envelope> inbox_next;     // written by controller pre-release
+  // Barrier handshake, all guarded by Impl::mu. The controller releases a
+  // runner by setting `go` and signalling `cv`; the runner consumes `go`,
+  // runs its round slice, and parks again at the next advance(). While
+  // `in_flight` it occupies one of the policy's worker-window slots.
+  std::condition_variable cv;
+  bool go = false;
+  bool in_flight = false;
+  enum class State { AtBarrier, Running, Finished };
+  State state = State::AtBarrier;
+  std::exception_ptr error;
+  std::vector<Envelope> inbox_next;  // written by controller pre-release
 
-  // Runner-local staging and metrics: written by the runner thread while
-  // Running, read by the controller only while the runner is blocked at the
-  // barrier or finished (the barrier mutex orders these accesses).
+  // Runner-local staging and metrics: written only by the runner thread
+  // while Running, read by the controller only while the runner is parked
+  // at the barrier or finished (the barrier mutex orders these accesses).
+  // Keeping the outbox thread-local is what makes the parallel schedule
+  // deterministic: sends never contend, and the controller merges outboxes
+  // in canonical runner-table order at the barrier.
   struct Staged {
     int to;
     Bytes payload;
@@ -71,14 +80,42 @@ struct SyncNetwork::Scripted {
 
 struct SyncNetwork::Impl {
   std::mutex mu;
-  std::condition_variable cv_runner;  // runners wait for round release
-  std::condition_variable cv_ctrl;    // controller waits for arrivals
-  std::size_t gen = 0;                // round generation counter
+  std::condition_variable cv_ctrl;  // controller waits for parks
+  std::size_t in_flight = 0;        // runners released and not yet parked
   bool abort = false;
+  ExecPolicy policy;                 // default: auto (COCA_THREADS / serial)
+  Transcript* transcript = nullptr;  // optional recording sink
 
   std::vector<std::unique_ptr<Runner>> runners;
   std::vector<std::unique_ptr<Scripted>> scripted;
   std::vector<int> role_of_party;  // 0 = unset, 1 = honest, 2 = byzantine
+
+  /// Releases every non-finished runner for one round slice, at most
+  /// `window` concurrently, in canonical runner-table order, and waits
+  /// until all of them are parked again (or finished). Returns false on
+  /// watchdog timeout. Caller holds `lk`.
+  bool run_wave(std::unique_lock<std::mutex>& lk, std::size_t window) {
+    std::size_t next = 0;
+    for (;;) {
+      while (in_flight < window && next < runners.size()) {
+        Runner& r = *runners[next++];
+        if (r.state == Runner::State::Finished) continue;
+        r.go = true;
+        r.in_flight = true;
+        ++in_flight;
+        r.cv.notify_one();
+      }
+      if (in_flight == 0 && next == runners.size()) return true;
+      // Watchdog: a round slice that takes this long means livelock in
+      // protocol code (all legitimate slices are short bursts of compute).
+      if (!cv_ctrl.wait_for(lk, std::chrono::seconds(300), [&] {
+            return in_flight == 0 ||
+                   (in_flight < window && next < runners.size());
+          })) {
+        return false;
+      }
+    }
+  }
 };
 
 SyncNetwork::SyncNetwork(int n, int t) : n_(n), t_(t) {
@@ -118,13 +155,6 @@ PartyContext::PhaseScope::~PhaseScope() {
   ctx_.net_.runner_pop_phase(ctx_.runner_);
 }
 
-namespace {
-std::uint64_t context_seed(int party, std::size_t runner_index) {
-  return 0x5EEDC0CA00000000ULL ^ (static_cast<std::uint64_t>(party) << 16) ^
-         runner_index;
-}
-}  // namespace
-
 void SyncNetwork::set_honest(int id, ProtocolFn fn) {
   require(id >= 0 && id < n_ && impl_->role_of_party[id] == 0,
           "SyncNetwork::set_honest: bad or already-assigned id");
@@ -134,7 +164,9 @@ void SyncNetwork::set_honest(int id, ProtocolFn fn) {
   r->honest = true;
   r->fn = std::move(fn);
   const std::size_t idx = impl_->runners.size();
-  r->ctx.reset(new PartyContext(*this, idx, id, context_seed(id, idx)));
+  r->ctx.reset(new PartyContext(
+      *this, idx, id,
+      Rng::derive_stream_seed(kRunnerSeedDomain, runner_stream_key(id, idx))));
   impl_->runners.push_back(std::move(r));
 }
 
@@ -146,7 +178,7 @@ void SyncNetwork::set_byzantine(int id,
   auto s = std::make_unique<Scripted>();
   s->party = id;
   s->strategy = std::move(strategy);
-  s->rng = Rng(context_seed(id, 0xB52));
+  s->rng = Rng::stream(kScriptedSeedDomain, static_cast<std::uint64_t>(id));
   impl_->scripted.push_back(std::move(s));
 }
 
@@ -159,7 +191,9 @@ void SyncNetwork::set_byzantine_protocol(int id, ProtocolFn fn) {
   r->honest = false;
   r->fn = std::move(fn);
   const std::size_t idx = impl_->runners.size();
-  r->ctx.reset(new PartyContext(*this, idx, id, context_seed(id, idx)));
+  r->ctx.reset(new PartyContext(
+      *this, idx, id,
+      Rng::derive_stream_seed(kRunnerSeedDomain, runner_stream_key(id, idx))));
   impl_->runners.push_back(std::move(r));
 }
 
@@ -179,9 +213,21 @@ void SyncNetwork::set_split_brain(int id, ProtocolFn a, ProtocolFn b,
     r->allowed = half == 0 ? recipients_of_a : recipients_of_b;
     r->fn = half == 0 ? std::move(a) : std::move(b);
     const std::size_t idx = impl_->runners.size();
-    r->ctx.reset(new PartyContext(*this, idx, id, context_seed(id, idx)));
+    r->ctx.reset(new PartyContext(*this, idx, id,
+                                  Rng::derive_stream_seed(
+                                      kRunnerSeedDomain,
+                                      runner_stream_key(id, idx))));
     impl_->runners.push_back(std::move(r));
   }
+}
+
+void SyncNetwork::set_exec_policy(ExecPolicy policy) {
+  require(policy.threads >= 0, "SyncNetwork::set_exec_policy: bad threads");
+  impl_->policy = policy;
+}
+
+void SyncNetwork::set_transcript(Transcript* sink) {
+  impl_->transcript = sink;
 }
 
 void SyncNetwork::runner_send(std::size_t runner_index, int to, Bytes payload) {
@@ -211,12 +257,14 @@ std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
   Runner& r = *impl_->runners[runner_index];
   std::unique_lock lk(impl_->mu);
   r.state = Runner::State::AtBarrier;
-  r.parked_gen = impl_->gen;
-  const std::size_t my_gen = impl_->gen;
-  impl_->cv_ctrl.notify_all();
-  impl_->cv_runner.wait(
-      lk, [&] { return impl_->gen != my_gen || impl_->abort; });
+  if (r.in_flight) {
+    r.in_flight = false;
+    --impl_->in_flight;
+  }
+  impl_->cv_ctrl.notify_one();
+  r.cv.wait(lk, [&] { return r.go || impl_->abort; });
   if (impl_->abort) throw AbortSignal{};
+  r.go = false;
   r.state = Runner::State::Running;
   return std::exchange(r.inbox_next, {});
 }
@@ -227,12 +275,24 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
     require(im.role_of_party[p] != 0,
             "SyncNetwork::run: every party needs a role before running");
   }
+  const std::size_t window =
+      static_cast<std::size_t>(std::max(1, im.policy.window()));
+  if (im.transcript) im.transcript->rounds.clear();
 
-  // Launch runner threads.
+  // Launch runner threads. Each waits for its first release so that the
+  // pre-first-advance protocol segment obeys the same schedule as every
+  // later round slice.
   for (auto& rp : im.runners) {
     Runner& r = *rp;
     r.thread = std::thread([this, &r] {
       try {
+        {
+          std::unique_lock lk(impl_->mu);
+          r.cv.wait(lk, [&] { return r.go || impl_->abort; });
+          if (impl_->abort) throw AbortSignal{};
+          r.go = false;
+          r.state = Runner::State::Running;
+        }
         r.fn(*r.ctx);
       } catch (const AbortSignal&) {
         // Controller-initiated unwind; not an error.
@@ -242,7 +302,11 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
       }
       std::lock_guard lk(impl_->mu);
       r.state = Runner::State::Finished;
-      impl_->cv_ctrl.notify_all();
+      if (r.in_flight) {
+        r.in_flight = false;
+        --impl_->in_flight;
+      }
+      impl_->cv_ctrl.notify_one();
     });
   }
 
@@ -252,23 +316,34 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
 
   {
     std::unique_lock lk(im.mu);
-    const auto all_parked = [&] {
-      return std::all_of(im.runners.begin(), im.runners.end(), [&](auto& r) {
-        return r->state == Runner::State::Finished ||
-               (r->state == Runner::State::AtBarrier &&
-                r->parked_gen == im.gen);
-      });
-    };
     const auto all_finished = [&] {
       return std::all_of(im.runners.begin(), im.runners.end(), [](auto& r) {
         return r->state == Runner::State::Finished;
       });
     };
 
+    // Drains all staged outboxes into (from, to, payload) triplets in
+    // canonical order -- runner-table order, send order within a runner --
+    // and sums the bytes honest runners staged.
+    struct Triplet {
+      int from;
+      int to;
+      Bytes payload;
+    };
+    const auto drain_outboxes = [&](std::uint64_t* honest_bytes) {
+      std::vector<Triplet> wire;
+      for (auto& r : im.runners) {
+        for (auto& staged : r->outbox) {
+          if (r->honest) *honest_bytes += staged.payload.size();
+          wire.push_back({r->party, staged.to, std::move(staged.payload)});
+        }
+        r->outbox.clear();
+      }
+      return wire;
+    };
+
     for (;;) {
-      // Watchdog: a round that takes this long means livelock in protocol
-      // code (all legitimate rounds are short bursts of local compute).
-      if (!im.cv_ctrl.wait_for(lk, std::chrono::seconds(300), all_parked)) {
+      if (!im.run_wave(lk, window)) {
         failure_reason = "SyncNetwork: round stalled (watchdog)";
         break;
       }
@@ -284,19 +359,9 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
 
       // ---- Deliver one round. All runners are parked; their outboxes and
       // metrics are safe to touch from here.
-      struct Triplet {
-        int from;
-        int to;
-        Bytes payload;
-      };
-      std::vector<Triplet> wire;
+      std::uint64_t round_honest_bytes = 0;
+      std::vector<Triplet> wire = drain_outboxes(&round_honest_bytes);
       std::vector<RoundView::Sent> honest_traffic;
-      for (auto& r : im.runners) {
-        for (auto& staged : r->outbox) {
-          wire.push_back({r->party, staged.to, std::move(staged.payload)});
-        }
-        r->outbox.clear();
-      }
       for (const Triplet& m : wire) {
         honest_traffic.push_back({m.from, m.to, &m.payload});
       }
@@ -327,6 +392,15 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
                        [](const Triplet& a, const Triplet& b) {
                          return a.from < b.from;
                        });
+      if (im.transcript) {
+        Transcript::Round rec;
+        rec.honest_bytes = round_honest_bytes;
+        rec.messages.reserve(wire.size());
+        for (const Triplet& m : wire) {
+          rec.messages.push_back({m.from, m.to, m.payload});
+        }
+        im.transcript->rounds.push_back(std::move(rec));
+      }
       std::vector<std::vector<Envelope>> runner_inbox(im.runners.size());
       std::vector<std::vector<Envelope>> scripted_inbox(im.scripted.size());
       for (const Triplet& m : wire) {
@@ -349,14 +423,29 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
       }
 
       ++rounds;
-      ++im.gen;
-      im.cv_runner.notify_all();
     }
 
     if (failure || !failure_reason.empty()) {
       im.abort = true;
-      ++im.gen;
-      im.cv_runner.notify_all();
+      for (auto& r : im.runners) r->cv.notify_one();
+    } else if (im.transcript) {
+      // Sends staged after a party's last advance() were never delivered but
+      // do count as sent; surface them as a trailing transcript round so
+      // per-round bytes sum to the run totals.
+      std::uint64_t leftover_honest_bytes = 0;
+      std::vector<Triplet> leftovers = drain_outboxes(&leftover_honest_bytes);
+      if (!leftovers.empty()) {
+        std::stable_sort(leftovers.begin(), leftovers.end(),
+                         [](const Triplet& a, const Triplet& b) {
+                           return a.from < b.from;
+                         });
+        Transcript::Round rec;
+        rec.honest_bytes = leftover_honest_bytes;
+        for (const Triplet& m : leftovers) {
+          rec.messages.push_back({m.from, m.to, m.payload});
+        }
+        im.transcript->rounds.push_back(std::move(rec));
+      }
     }
   }
 

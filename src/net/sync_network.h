@@ -10,8 +10,13 @@
 // Honest parties run protocol code as straight-line functions on dedicated
 // threads; `PartyContext::advance()` is the round barrier. This lets the
 // implementation mirror the paper's pseudocode one statement at a time.
-// Deterministic: inboxes are ordered by sender id, and honest control flow
-// depends only on agreed values.
+// Within a round the engine releases parties from the barrier under an
+// `ExecPolicy`: serially (the reference schedule) or on a fixed-size window
+// of `threads` concurrently-computing parties. Each party stages sends into
+// a thread-local outbox and draws from a per-party RNG stream split off the
+// root seed, so both schedules are bit-for-bit transcript-identical --
+// inboxes are ordered by sender id, metered bits are summed per party, and
+// honest control flow depends only on agreed values.
 //
 // Byzantine parties come in three flavours:
 //  * scripted strategies (`ByzantineStrategy`) that fabricate arbitrary bytes,
@@ -30,15 +35,51 @@
 #include <string>
 #include <vector>
 
+#include "net/exec_policy.h"
 #include "util/common.h"
 #include "util/rng.h"
 
 namespace coca::net {
 
+/// Root seed domains for the per-party deterministic RNG streams
+/// (`Rng::stream(domain, key)`). Stable constants: the exact stream values
+/// are pinned by tests/test_rng.cpp so accidental changes to stream
+/// splitting surface as test failures, not silent transcript drift.
+inline constexpr std::uint64_t kRunnerSeedDomain = 0x5EEDC0CA'0000001DULL;
+inline constexpr std::uint64_t kScriptedSeedDomain = 0x5EEDC0CA'00000B52ULL;
+
+/// Stream key of a protocol-running instance: split-brain corruptions own
+/// two runners behind one party id, so the runner index disambiguates.
+constexpr std::uint64_t runner_stream_key(int party,
+                                          std::size_t runner_index) {
+  return (static_cast<std::uint64_t>(party) << 20) |
+         static_cast<std::uint64_t>(runner_index);
+}
+
 /// A delivered message with its authenticated sender.
 struct Envelope {
   int from = -1;
   Bytes payload;
+};
+
+/// Everything observable about one execution, in canonical order: per round,
+/// the delivered messages (after the sender-id/sequence merge, byzantine
+/// traffic last) and the bytes the honest parties staged. Serial and
+/// parallel schedules of the same run must compare equal.
+struct Transcript {
+  struct Msg {
+    int from = -1;
+    int to = -1;
+    Bytes payload;
+    bool operator==(const Msg&) const = default;
+  };
+  struct Round {
+    std::vector<Msg> messages;       // canonical delivery order
+    std::uint64_t honest_bytes = 0;  // staged by honest parties this round
+    bool operator==(const Round&) const = default;
+  };
+  std::vector<Round> rounds;
+  bool operator==(const Transcript&) const = default;
 };
 
 /// Keeps the first message of each sender, in sender-id order. Protocol
@@ -160,6 +201,14 @@ class SyncNetwork {
   /// instance B to everyone else. Both see all messages addressed to `id`.
   void set_split_brain(int id, ProtocolFn a, ProtocolFn b,
                        std::set<int> recipients_of_a);
+
+  /// Chooses the round-slice schedule (default: ExecPolicy auto, i.e.
+  /// COCA_THREADS or serial). Must be called before run().
+  void set_exec_policy(ExecPolicy policy);
+
+  /// Records every delivered round into `sink` during run(); pass nullptr
+  /// to disable. The sink must outlive run().
+  void set_transcript(Transcript* sink);
 
   /// Runs to completion (all protocol-running parties returned).
   /// Throws if any honest party threw, or if `max_rounds` is exceeded.
