@@ -1,0 +1,134 @@
+// Adversary search: sweep mutation-based byzantine behaviours over the
+// whole protocol zoo and check every execution against one shared
+// invariant oracle.
+//
+// A `FuzzCase` pins everything needed to reproduce an execution
+// bit-for-bit: the protocol under test, (n, t), the input scale `ell`, the
+// honest-workload seed, the corrupted-party set, and the `MutatorConfig`
+// each corrupted party wraps its honest instance in (per-party mutator
+// streams are split off `mutation.seed` with `Rng::derive_stream_seed`).
+// `execute_case` runs it and returns the oracle's verdict:
+//
+//   * termination  -- the run finishes within a per-target round budget,
+//   * no crash     -- no honest instance throws on adversarial traffic,
+//   * agreement    -- all honest outputs equal,
+//   * validity     -- outputs inside the honest inputs' convex hull
+//                     (plus Intrusion Tolerance / Bounded Pre-Agreement
+//                     for the BA+ targets, Lemma-1 shape for FindPrefix),
+//   * bits budget  -- honest BITS_l below a generous multiple of the
+//                     paper's cost formula (catches honest-side blowups).
+//
+// `Fuzzer` drives the search under a wall-clock/iteration budget,
+// `shrink_case` minimizes a violating case against a caller-supplied
+// still-fails predicate, and `CorpusEntry` round-trips through JSON so
+// minimized counterexamples live in tests/corpus/ and replay
+// deterministically (same seed -> same transcript -> same verdict).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adversary/mutator.h"
+#include "net/sync_network.h"
+
+namespace coca::adv {
+
+/// One fully-specified fuzz execution. Equality is structural: two equal
+/// cases replay the same transcript under any ExecPolicy schedule.
+struct FuzzCase {
+  std::string protocol;        // one of known_protocols()
+  int n = 4;
+  int t = 1;                   // corruption budget (t < n/3)
+  std::size_t ell = 16;        // input bit-length scale
+  std::uint64_t input_seed = 0;  // honest workload generator seed
+  std::vector<int> corrupted;  // parties wrapped in a Mutator
+  MutatorConfig mutation;      // seed is the root; per-party streams derived
+  int threads = 0;             // ExecPolicy (0 = auto)
+
+  bool operator==(const FuzzCase&) const = default;
+};
+
+/// The oracle's verdict over one execution; empty violations = all hold.
+struct FuzzVerdict {
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+struct FuzzOutcome {
+  FuzzVerdict verdict;
+  net::RunStats stats;     // meaningful iff `terminated`
+  bool terminated = false;
+  std::string failure;     // exception text when the run aborted
+};
+
+/// The protocol targets the fuzzer knows how to drive.
+const std::vector<std::string>& known_protocols();
+
+/// Runs one case to its verdict. Optionally records the canonical message
+/// transcript into `transcript` (must outlive the call). Throws Error on a
+/// malformed case (unknown protocol, out-of-range ids, t >= n/3, ...).
+FuzzOutcome execute_case(const FuzzCase& c,
+                         net::Transcript* transcript = nullptr);
+
+/// A minimized counterexample as stored in tests/corpus/: the case plus
+/// the violations it reproduced when found.
+struct CorpusEntry {
+  FuzzCase c;
+  std::vector<std::string> violations;
+  std::string note;
+
+  bool operator==(const CorpusEntry&) const = default;
+};
+
+/// JSON round trip for corpus files (schema "coca-fuzz-v1"; strict parse,
+/// throws Error on malformed input).
+std::string to_json(const CorpusEntry& entry);
+CorpusEntry corpus_entry_from_json(std::string_view json);
+
+/// Greedily minimizes `c` while `still_fails` holds: fewer corrupted
+/// parties, smaller n, shorter ell, fewer active operators, shallower
+/// delays -- to a fixpoint or `max_attempts` predicate evaluations.
+using FailPredicate = std::function<bool(const FuzzCase&)>;
+FuzzCase shrink_case(FuzzCase c, const FailPredicate& still_fails,
+                     std::size_t max_attempts = 64);
+
+struct FuzzerOptions {
+  double budget_sec = 10.0;             // wall-clock budget for run()
+  std::size_t max_cases = SIZE_MAX;     // iteration budget for run()
+  std::uint64_t seed = 1;               // search-stream seed
+  std::vector<std::string> protocols;   // empty = all known
+  std::vector<int> sizes = {4, 7};      // candidate n values
+  int threads = 0;                      // ExecPolicy for every execution
+  bool shrink = true;                   // minimize violations before report
+};
+
+struct FuzzReport {
+  std::size_t executed = 0;
+  std::map<std::string, std::size_t> cases_by_protocol;
+  std::vector<CorpusEntry> violations;  // shrunk when options.shrink
+};
+
+/// The search driver: round-robins protocols, randomizes everything else
+/// from one seeded stream, executes until a budget is hit, and shrinks
+/// whatever the oracle rejects.
+class Fuzzer {
+ public:
+  explicit Fuzzer(FuzzerOptions options);
+
+  /// Draws the next randomized case (exposed for tests; run() consumes the
+  /// same stream).
+  FuzzCase next_case();
+
+  FuzzReport run();
+
+ private:
+  FuzzerOptions options_;
+  std::vector<std::string> protocols_;
+  Rng rng_;
+  std::size_t counter_ = 0;
+};
+
+}  // namespace coca::adv

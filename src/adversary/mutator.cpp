@@ -1,0 +1,180 @@
+#include "adversary/mutator.h"
+
+#include <algorithm>
+
+#include "util/wire.h"
+
+namespace coca::adv {
+
+std::string_view to_string(MutOp op) {
+  switch (op) {
+    case MutOp::kKeep:
+      return "keep";
+    case MutOp::kBitFlip:
+      return "bit-flip";
+    case MutOp::kByteSplice:
+      return "byte-splice";
+    case MutOp::kTruncate:
+      return "truncate";
+    case MutOp::kExtend:
+      return "extend";
+    case MutOp::kFieldTweak:
+      return "field-tweak";
+    case MutOp::kOmit:
+      return "omit";
+    case MutOp::kDelay:
+      return "delay";
+    case MutOp::kEquivocate:
+      return "equivocate";
+  }
+  return "unknown";
+}
+
+Mutator::Mutator(MutatorConfig config)
+    : config_(config), rng_(config.seed) {
+  require(config_.n >= 1, "Mutator: config.n must name the party count");
+  require(config_.max_delay >= 1, "Mutator: max_delay must be >= 1");
+  for (const std::uint32_t w : config_.weights) total_weight_ += w;
+}
+
+MutOp Mutator::pick_op() {
+  if (total_weight_ == 0) return MutOp::kKeep;
+  std::uint64_t roll = rng_.below(total_weight_);
+  for (std::size_t i = 0; i < kNumMutOps; ++i) {
+    if (roll < config_.weights[i]) return static_cast<MutOp>(i);
+    roll -= config_.weights[i];
+  }
+  return MutOp::kKeep;
+}
+
+Bytes Mutator::corrupt(Bytes payload) {
+  static constexpr MutOp kContentOps[] = {
+      MutOp::kBitFlip, MutOp::kByteSplice, MutOp::kTruncate, MutOp::kExtend,
+      MutOp::kFieldTweak,
+  };
+  return apply(kContentOps[rng_.below(std::size(kContentOps))],
+               std::move(payload));
+}
+
+Bytes Mutator::apply(MutOp op, Bytes payload) {
+  switch (op) {
+    case MutOp::kBitFlip: {
+      if (payload.empty()) return payload;
+      const std::size_t flips = 1 + rng_.below(8);
+      for (std::size_t i = 0; i < flips; ++i) {
+        const std::size_t bit = rng_.below(payload.size() * 8);
+        payload[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      }
+      return payload;
+    }
+    case MutOp::kByteSplice: {
+      if (payload.empty()) return payload;
+      const std::size_t len = 1 + rng_.below(std::min<std::size_t>(
+                                      8, payload.size()));
+      const std::size_t at = rng_.below(payload.size() - len + 1);
+      for (std::size_t i = 0; i < len; ++i) {
+        payload[at + i] = static_cast<std::uint8_t>(rng_.next_u64());
+      }
+      return payload;
+    }
+    case MutOp::kTruncate: {
+      if (payload.empty()) return payload;
+      payload.resize(rng_.below(payload.size()));
+      return payload;
+    }
+    case MutOp::kExtend: {
+      const Bytes extra = rng_.bytes(1 + rng_.below(64));
+      payload.insert(payload.end(), extra.begin(), extra.end());
+      return payload;
+    }
+    case MutOp::kFieldTweak: {
+      // wire.h convention: composite payloads lead with a little-endian
+      // length field (u32 for `bytes`, u64 for `bitstring`/`bignat`).
+      // Re-reading and rewriting an aligned field with an off-by-one, zero,
+      // or saturated value forges a *structurally* plausible message --
+      // exactly the length-field lies bounds-checked parsing must survive.
+      const std::size_t width = (payload.size() >= 8 && rng_.next_bool()) ? 8 : 4;
+      if (payload.size() < width) return apply(MutOp::kBitFlip, std::move(payload));
+      const std::size_t at = rng_.below(payload.size() - width + 1);
+      Reader reader(std::span(payload.data() + at, width));
+      const std::uint64_t v =
+          width == 8 ? *reader.u64() : static_cast<std::uint64_t>(*reader.u32());
+      std::uint64_t forged = 0;
+      switch (rng_.below(4)) {
+        case 0:
+          forged = v + 1;
+          break;
+        case 1:
+          forged = v - 1;
+          break;
+        case 2:
+          forged = 0;
+          break;
+        default:
+          forged = width == 8 ? ~std::uint64_t{0} : 0xFFFFFFFFull;
+          break;
+      }
+      Writer writer;
+      if (width == 8) {
+        writer.u64(forged);
+      } else {
+        writer.u32(static_cast<std::uint32_t>(forged));
+      }
+      std::copy(writer.peek().begin(), writer.peek().end(),
+                payload.begin() + static_cast<std::ptrdiff_t>(at));
+      return payload;
+    }
+    case MutOp::kKeep:
+    case MutOp::kOmit:
+    case MutOp::kDelay:
+    case MutOp::kEquivocate:
+      break;  // not content operators
+  }
+  return payload;
+}
+
+void Mutator::on_send(std::size_t round, int to, Bytes payload,
+                      const Emit& emit) {
+  const MutOp op = pick_op();
+  ++op_counts_[static_cast<std::size_t>(op)];
+  switch (op) {
+    case MutOp::kKeep:
+      emit(to, std::move(payload));
+      return;
+    case MutOp::kOmit:
+      return;
+    case MutOp::kDelay:
+      held_.push_back(
+          {round + 1 + rng_.below(config_.max_delay), to, std::move(payload)});
+      return;
+    case MutOp::kEquivocate: {
+      // Corrupted copy to a different recipient, staged before that
+      // recipient's legitimate message from this party: protocols that keep
+      // the first message per sender see the forgery instead.
+      if (config_.n > 1) {
+        int other = static_cast<int>(rng_.below(
+            static_cast<std::uint64_t>(config_.n - 1)));
+        if (other >= to) ++other;
+        emit(other, corrupt(payload));
+      }
+      emit(to, std::move(payload));
+      return;
+    }
+    default:
+      emit(to, apply(op, std::move(payload)));
+      return;
+  }
+}
+
+void Mutator::on_round_start(std::size_t round, const Emit& emit) {
+  // Replay everything that came due, in the order it was held back.
+  auto due = std::stable_partition(
+      held_.begin(), held_.end(),
+      [round](const Held& h) { return h.due_round <= round; });
+  for (auto it = held_.begin(); it != due; ++it) {
+    emit(it->to, std::move(it->payload));
+  }
+  held_.erase(held_.begin(), due);
+}
+
+}  // namespace coca::adv

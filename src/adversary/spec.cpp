@@ -20,6 +20,8 @@ std::string_view to_string(Kind kind) {
       return "zeroes";
     case Kind::kOnes:
       return "ones";
+    case Kind::kChaos:
+      return "chaos";
     case Kind::kExtremeLow:
       return "extreme-low";
     case Kind::kExtremeHigh:
@@ -53,6 +55,14 @@ void install(net::SyncNetwork& net, int id, Kind kind,
       return;
     case Kind::kOnes:
       net.set_byzantine(id, std::make_shared<ConstantByte>(1));
+      return;
+    case Kind::kChaos:
+      // Chaos keeps its own seeded stream (the fuzz sweeps construct it
+      // directly with varied seeds); the installed default derives a stable
+      // per-party seed from the scripted-strategy domain.
+      net.set_byzantine(id, std::make_shared<Chaos>(Rng::derive_stream_seed(
+                                net::kScriptedSeedDomain,
+                                0xC4A05000ULL + static_cast<std::uint64_t>(id))));
       return;
     case Kind::kExtremeLow:
       require(static_cast<bool>(hooks.low), "install: low hook required");

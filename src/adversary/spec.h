@@ -7,6 +7,7 @@
 // the protocol layer.
 #pragma once
 
+#include <iterator>
 #include <memory>
 #include <string_view>
 
@@ -14,6 +15,10 @@
 
 namespace coca::adv {
 
+// When adding a Kind: extend kAllKinds, to_string() and install() below, and
+// bump kKindCount -- tests/test_adversary.cpp fails loudly on any mismatch,
+// and the property sweep in tests/test_properties.cpp picks it up from
+// kAllKinds automatically.
 enum class Kind {
   kSilent,       // crashed from the start
   kGarbage,      // random malformed bytes
@@ -22,18 +27,23 @@ enum class Kind {
   kEcho,         // mirrors received messages back
   kZeroes,       // constant 0x00 byte (attacks bit subprotocols)
   kOnes,         // constant 0x01 byte
+  kChaos,        // seeded per-recipient mix of silence/garbage/replays
   kExtremeLow,   // honest protocol, adversarially low input
   kExtremeHigh,  // honest protocol, adversarially high input
   kSplitBrain,   // equivocates: low-input instance to half the parties,
                  // high-input instance to the rest
 };
 
+/// Number of enumerators in Kind (== std::size(kAllKinds), test-enforced).
+inline constexpr std::size_t kKindCount = 11;
+
 constexpr Kind kAllKinds[] = {
-    Kind::kSilent, Kind::kGarbage,    Kind::kSpam,
-    Kind::kReplay, Kind::kEcho,       Kind::kZeroes,
-    Kind::kOnes,   Kind::kExtremeLow, Kind::kExtremeHigh,
-    Kind::kSplitBrain,
+    Kind::kSilent,     Kind::kGarbage,    Kind::kSpam,
+    Kind::kReplay,     Kind::kEcho,       Kind::kZeroes,
+    Kind::kOnes,       Kind::kChaos,      Kind::kExtremeLow,
+    Kind::kExtremeHigh, Kind::kSplitBrain,
 };
+static_assert(std::size(kAllKinds) == kKindCount);
 
 std::string_view to_string(Kind kind);
 

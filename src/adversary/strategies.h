@@ -72,6 +72,50 @@ class Echo final : public net::ByzantineStrategy {
   }
 };
 
+/// A seeded chaos strategy: every round, for every recipient, flips a coin
+/// among silence / short garbage / long garbage / replayed honest payload /
+/// truncated honest payload. The strongest unstructured scripted attack:
+/// per-recipient behaviour, rushing replays, and malformed tails in one.
+class Chaos final : public net::ByzantineStrategy {
+ public:
+  explicit Chaos(std::uint64_t seed) : rng_(seed) {}
+
+  void on_round(const net::RoundView& view,
+                const std::function<void(int, Bytes)>& send) override {
+    for (int to = 0; to < view.n; ++to) {
+      switch (rng_.below(5)) {
+        case 0:
+          break;  // silence
+        case 1:
+          send(to, rng_.bytes(1 + rng_.below(16)));
+          break;
+        case 2:
+          send(to, rng_.bytes(64 + rng_.below(512)));
+          break;
+        case 3: {
+          const auto& traffic = *view.honest_traffic;
+          if (!traffic.empty()) {
+            send(to, *traffic[rng_.below(traffic.size())].payload);
+          }
+          break;
+        }
+        default: {
+          const auto& traffic = *view.honest_traffic;
+          if (!traffic.empty()) {
+            Bytes cut = *traffic[rng_.below(traffic.size())].payload;
+            cut.resize(rng_.below(cut.size() + 1));
+            send(to, std::move(cut));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+ private:
+  Rng rng_;
+};
+
 /// Sends one constant byte to everyone each round: a focused attack on the
 /// bit-valued subprotocols (votes, sign bits, king messages).
 class ConstantByte final : public net::ByzantineStrategy {

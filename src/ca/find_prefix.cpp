@@ -60,7 +60,16 @@ FindPrefixResult search(net::PartyContext& ctx, const ba::LongBAPlus& lba_plus,
       } else if (cmp == std::strong_ordering::greater) {
         v = Bitstring::max_fill(prefix, v.size());
       }
+#ifdef COCA_CANARY_BUG
+      // Planted off-by-one (cmake -DCOCA_CANARY_BUG=ON): failing to step
+      // past MID re-agrees on already-settled units, desyncing |PREFIX*|
+      // from the search position. Exists to mutation-test the adversary
+      // search: adv::Fuzzer must catch and shrink this within a small
+      // budget (tests/test_fuzzer.cpp, CI fuzz-canary job).
+      left = mid;
+#else
       left = mid + 1;
+#endif
     }
   }
   return {std::move(prefix), std::move(v), std::move(v_bot)};

@@ -37,6 +37,11 @@ struct SyncNetwork::Runner {
   bool honest = false;  // counts toward honest cost metrics
   // Split-brain recipient filter; nullopt = may talk to everyone.
   std::optional<std::set<int>> allowed;
+  // Outgoing-message wrapper for tapped byzantine protocol runners; the
+  // local round counter feeds its on_send/on_round_start callbacks. Both
+  // are touched only by the runner's own thread.
+  std::shared_ptr<SendTap> tap;
+  std::size_t local_round = 0;
   ProtocolFn fn;
   std::unique_ptr<PartyContext> ctx;
   std::thread thread;
@@ -197,6 +202,12 @@ void SyncNetwork::set_byzantine_protocol(int id, ProtocolFn fn) {
   impl_->runners.push_back(std::move(r));
 }
 
+void SyncNetwork::set_byzantine_protocol(int id, ProtocolFn fn,
+                                         std::shared_ptr<SendTap> tap) {
+  set_byzantine_protocol(id, std::move(fn));
+  impl_->runners.back()->tap = std::move(tap);
+}
+
 void SyncNetwork::set_split_brain(int id, ProtocolFn a, ProtocolFn b,
                                   std::set<int> recipients_of_a) {
   require(id >= 0 && id < n_ && impl_->role_of_party[id] == 0,
@@ -232,6 +243,19 @@ void SyncNetwork::set_transcript(Transcript* sink) {
 
 void SyncNetwork::runner_send(std::size_t runner_index, int to, Bytes payload) {
   Runner& r = *impl_->runners[runner_index];
+  if (r.tap != nullptr) {
+    r.tap->on_send(r.local_round, to, std::move(payload),
+                   [this, runner_index](int tap_to, Bytes tap_payload) {
+                     runner_stage(runner_index, tap_to, std::move(tap_payload));
+                   });
+    return;
+  }
+  runner_stage(runner_index, to, std::move(payload));
+}
+
+void SyncNetwork::runner_stage(std::size_t runner_index, int to,
+                               Bytes payload) {
+  Runner& r = *impl_->runners[runner_index];
   require(to >= 0 && to < n_, "PartyContext::send: recipient out of range");
   if (r.allowed && !r.allowed->contains(to)) return;  // split-brain filter
   r.bytes_sent += payload.size();
@@ -255,18 +279,32 @@ void SyncNetwork::runner_pop_phase(std::size_t runner_index) {
 
 std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
   Runner& r = *impl_->runners[runner_index];
-  std::unique_lock lk(impl_->mu);
-  r.state = Runner::State::AtBarrier;
-  if (r.in_flight) {
-    r.in_flight = false;
-    --impl_->in_flight;
+  std::vector<Envelope> inbox;
+  {
+    std::unique_lock lk(impl_->mu);
+    r.state = Runner::State::AtBarrier;
+    if (r.in_flight) {
+      r.in_flight = false;
+      --impl_->in_flight;
+    }
+    impl_->cv_ctrl.notify_one();
+    r.cv.wait(lk, [&] { return r.go || impl_->abort; });
+    if (impl_->abort) throw AbortSignal{};
+    r.go = false;
+    r.state = Runner::State::Running;
+    inbox = std::exchange(r.inbox_next, {});
   }
-  impl_->cv_ctrl.notify_one();
-  r.cv.wait(lk, [&] { return r.go || impl_->abort; });
-  if (impl_->abort) throw AbortSignal{};
-  r.go = false;
-  r.state = Runner::State::Running;
-  return std::exchange(r.inbox_next, {});
+  // The runner entered the next round; let a tap flush held-back messages
+  // before the wrapped protocol stages its own (lock released: staging is
+  // runner-local).
+  ++r.local_round;
+  if (r.tap != nullptr) {
+    r.tap->on_round_start(r.local_round,
+                          [this, runner_index](int to, Bytes payload) {
+                            runner_stage(runner_index, to, std::move(payload));
+                          });
+  }
+  return inbox;
 }
 
 RunStats SyncNetwork::run(std::size_t max_rounds) {

@@ -167,6 +167,36 @@ class ByzantineStrategy {
                         const std::function<void(int, Bytes)>& send) = 0;
 };
 
+/// Wraps the outgoing traffic of a protocol-running byzantine party: honest
+/// protocol code executes unchanged, but every message it stages passes
+/// through the tap, which emits zero or more replacement messages (to any
+/// recipients). This is the hook structured adversaries -- message mutators,
+/// selective-omission and equivocation attacks -- are built from: they get
+/// plausible protocol traffic for free and only decide how to corrupt it.
+///
+/// Determinism contract: the tap is driven solely by the runner's own
+/// thread, in the wrapped protocol's program order, so tapped executions are
+/// transcript-identical across ExecPolicy schedules.
+class SendTap {
+ public:
+  using Emit = std::function<void(int to, Bytes payload)>;
+
+  virtual ~SendTap() = default;
+
+  /// One staged message of the wrapped protocol in round `round` (0-based);
+  /// call `emit` any number of times to put messages on the wire instead.
+  virtual void on_send(std::size_t round, int to, Bytes payload,
+                       const Emit& emit) = 0;
+
+  /// The wrapped protocol entered round `round` (it fires on every
+  /// advance(), before any round-`round` sends). Lets the tap release
+  /// messages it held back in earlier rounds (delayed replay).
+  virtual void on_round_start(std::size_t round, const Emit& emit) {
+    (void)round;
+    (void)emit;
+  }
+};
+
 /// Aggregated cost of one protocol execution.
 struct RunStats {
   std::size_t rounds = 0;
@@ -197,6 +227,9 @@ class SyncNetwork {
   /// Byzantine party that runs protocol code (e.g. with an extreme input);
   /// its traffic is excluded from honest cost metrics.
   void set_byzantine_protocol(int id, ProtocolFn fn);
+  /// Same, with every staged message routed through `tap` (may be null).
+  void set_byzantine_protocol(int id, ProtocolFn fn,
+                              std::shared_ptr<SendTap> tap);
   /// Split-brain equivocator: instance A talks to `recipients_of_a`,
   /// instance B to everyone else. Both see all messages addressed to `id`.
   void set_split_brain(int id, ProtocolFn a, ProtocolFn b,
@@ -226,6 +259,7 @@ class SyncNetwork {
   struct Impl;
 
   void runner_send(std::size_t runner_index, int to, Bytes payload);
+  void runner_stage(std::size_t runner_index, int to, Bytes payload);
   std::vector<Envelope> runner_advance(std::size_t runner_index);
   void runner_push_phase(std::size_t runner_index, std::string name);
   void runner_pop_phase(std::size_t runner_index);

@@ -11,6 +11,7 @@
 
 #include "adversary/spec.h"
 #include "ca/convex_agreement.h"
+#include "ca/driver.h"
 #include "net/sync_network.h"
 
 namespace coca::test {
@@ -50,25 +51,83 @@ SubRun<Result> run_parties(
   return run;
 }
 
-/// All engaged outputs equal; at least one engaged.
+/// The shared invariant oracle: one place that states the paper's proof
+/// obligations as checks, used by the fuzz, property, and differential
+/// suites (and mirrored on the library side by adv::Fuzzer's oracle, which
+/// cannot depend on gtest). Every check returns an AssertionResult so call
+/// sites keep precise failure messages.
+class InvariantOracle {
+ public:
+  /// Agreement: all engaged outputs equal; at least one engaged.
+  template <class Result>
+  static ::testing::AssertionResult agreement(
+      const std::vector<std::optional<Result>>& outputs) {
+    const Result* first = nullptr;
+    int engaged = 0;
+    for (const auto& out : outputs) {
+      if (!out) continue;
+      ++engaged;
+      if (first == nullptr) {
+        first = &*out;
+      } else if (!(*out == *first)) {
+        return ::testing::AssertionFailure() << "honest outputs disagree";
+      }
+    }
+    if (engaged == 0) {
+      return ::testing::AssertionFailure() << "no honest outputs";
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  /// Convex validity range check: every engaged output in [lo, hi].
+  template <class Result>
+  static ::testing::AssertionResult within(
+      const std::vector<std::optional<Result>>& outputs, const Result& lo,
+      const Result& hi) {
+    for (std::size_t id = 0; id < outputs.size(); ++id) {
+      const auto& out = outputs[id];
+      if (!out) continue;
+      if (*out < lo || hi < *out) {
+        return ::testing::AssertionFailure()
+               << "party " << id << " output escapes [lo, hi]";
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  /// Agreement + Convex Validity of a whole-protocol CA run, against the
+  /// honest inputs actually used.
+  static ::testing::AssertionResult convex_agreement(
+      const ca::SimResult& result, const std::vector<BigInt>& inputs_by_id) {
+    if (!result.agreement()) {
+      return ::testing::AssertionFailure() << "agreement violated";
+    }
+    if (!result.convex_validity(inputs_by_id)) {
+      return ::testing::AssertionFailure()
+             << "output escapes the honest inputs' convex hull";
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  /// Honest-bits budget: BITS_l stays under `budget_bits` (byzantine spam
+  /// never counts; a blown budget means an honest-side cost regression).
+  static ::testing::AssertionResult honest_bits_within(
+      const net::RunStats& stats, std::uint64_t budget_bits) {
+    if (stats.honest_bits() > budget_bits) {
+      return ::testing::AssertionFailure()
+             << "honest bits " << stats.honest_bits() << " exceed budget "
+             << budget_bits;
+    }
+    return ::testing::AssertionSuccess();
+  }
+};
+
+/// All engaged outputs equal; at least one engaged (shorthand the whole
+/// suite uses; the oracle above is the single definition).
 template <class Result>
 ::testing::AssertionResult all_agree(
     const std::vector<std::optional<Result>>& outputs) {
-  const Result* first = nullptr;
-  int engaged = 0;
-  for (const auto& out : outputs) {
-    if (!out) continue;
-    ++engaged;
-    if (first == nullptr) {
-      first = &*out;
-    } else if (!(*out == *first)) {
-      return ::testing::AssertionFailure() << "honest outputs disagree";
-    }
-  }
-  if (engaged == 0) {
-    return ::testing::AssertionFailure() << "no honest outputs";
-  }
-  return ::testing::AssertionSuccess();
+  return InvariantOracle::agreement(outputs);
 }
 
 /// The default byzantine threshold for a given n: floor((n-1)/3).

@@ -142,5 +142,48 @@ TEST(Installer, NamesAreUniqueAndStable) {
   EXPECT_EQ(names.size(), std::size(kAllKinds));
 }
 
+// The three definitions of the taxonomy -- the enum (via kKindCount), the
+// kAllKinds sweep array, and the to_string/install switches -- must stay in
+// sync: a Kind added to one but not the others fails here, loudly, instead
+// of silently dropping out of the sweeps.
+TEST(Installer, TaxonomyStaysInSync) {
+  // Every enumerator value [0, kKindCount) appears in kAllKinds exactly once.
+  std::set<int> listed;
+  for (const Kind kind : kAllKinds) {
+    EXPECT_TRUE(listed.insert(static_cast<int>(kind)).second)
+        << "duplicate kAllKinds entry " << to_string(kind);
+  }
+  ASSERT_EQ(listed.size(), kKindCount);
+  for (std::size_t v = 0; v < kKindCount; ++v) {
+    EXPECT_TRUE(listed.contains(static_cast<int>(v))) << "enum value " << v;
+  }
+  // Every enumerator has a real name and a working installer arm.
+  const ProtocolHooks hooks{
+      [](net::PartyContext& ctx) { (void)ctx.advance(); },
+      [](net::PartyContext& ctx) { (void)ctx.advance(); }};
+  for (std::size_t v = 0; v < kKindCount; ++v) {
+    const Kind kind = static_cast<Kind>(v);
+    EXPECT_NE(to_string(kind), "unknown") << "enum value " << v;
+    net::SyncNetwork net(4, 1);
+    EXPECT_NO_THROW(install(net, 3, kind, hooks)) << to_string(kind);
+  }
+  // A value past the end is rejected by both, so a forgotten kKindCount bump
+  // cannot masquerade as a real Kind.
+  const Kind past_end = static_cast<Kind>(kKindCount);
+  EXPECT_EQ(to_string(past_end), "unknown");
+  net::SyncNetwork net(4, 1);
+  EXPECT_THROW(install(net, 3, past_end, hooks), Error);
+}
+
+TEST(Strategies, ChaosIsSeedDeterministicAndVaried) {
+  const auto a = probe_strategy(std::make_shared<Chaos>(42), 8);
+  const auto b = probe_strategy(std::make_shared<Chaos>(42), 8);
+  const auto c = probe_strategy(std::make_shared<Chaos>(43), 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Chaos must actually engage (all-silent would be a regression).
+  EXPECT_FALSE(a.empty());
+}
+
 }  // namespace
 }  // namespace coca::adv

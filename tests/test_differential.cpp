@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "ca/driver.h"
+#include "tests/support.h"
 #include "util/bignat.h"
 #include "util/rng.h"
 
@@ -122,8 +123,7 @@ TEST(Differential, LargeScaleSmoke) {
     cfg.corruptions.push_back({3 * i + 1, kinds[i % 5]});
   }
   const ca::SimResult r = run_simulation(proto, cfg);
-  EXPECT_TRUE(r.agreement());
-  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+  EXPECT_TRUE(test::InvariantOracle::convex_agreement(r, cfg.inputs));
 }
 
 }  // namespace

@@ -1,8 +1,9 @@
 // Protocol-level robustness fuzzing: every protocol layer is exercised
-// against randomized byzantine byte streams across many seeds. The
-// assertion is three-fold: no crash / no hang (termination), agreement, and
-// convex validity where applicable. This is the failure-injection
-// counterpart of the wire-level fuzz in test_wire.cpp.
+// against the seeded Chaos strategy (adversary/strategies.h) across many
+// seeds. The assertion is the shared invariant oracle: no crash / no hang
+// (termination), agreement, convex validity where applicable, and an
+// honest-bits smoke budget. The search-based counterpart with structured
+// mutations lives in adv::Fuzzer (tests/test_fuzzer.cpp, tools/fuzz_driver).
 #include <gtest/gtest.h>
 
 #include "ba/ba_plus.h"
@@ -17,51 +18,9 @@ namespace coca {
 namespace {
 
 using test::all_agree;
+using test::InvariantOracle;
 using test::max_t;
 using test::run_parties;
-
-// A seeded chaos strategy: every round, for every recipient, flips a coin
-// among silence / short garbage / long garbage / replayed honest payload /
-// truncated honest payload.
-class Chaos final : public net::ByzantineStrategy {
- public:
-  explicit Chaos(std::uint64_t seed) : rng_(seed) {}
-
-  void on_round(const net::RoundView& view,
-                const std::function<void(int, Bytes)>& send) override {
-    for (int to = 0; to < view.n; ++to) {
-      switch (rng_.below(5)) {
-        case 0:
-          break;  // silence
-        case 1:
-          send(to, rng_.bytes(1 + rng_.below(16)));
-          break;
-        case 2:
-          send(to, rng_.bytes(64 + rng_.below(512)));
-          break;
-        case 3: {
-          const auto& traffic = *view.honest_traffic;
-          if (!traffic.empty()) {
-            send(to, *traffic[rng_.below(traffic.size())].payload);
-          }
-          break;
-        }
-        default: {
-          const auto& traffic = *view.honest_traffic;
-          if (!traffic.empty()) {
-            Bytes cut = *traffic[rng_.below(traffic.size())].payload;
-            cut.resize(rng_.below(cut.size() + 1));
-            send(to, std::move(cut));
-          }
-          break;
-        }
-      }
-    }
-  }
-
- private:
-  Rng rng_;
-};
 
 class FuzzSeeds : public ::testing::TestWithParam<int> {};
 
@@ -79,10 +38,11 @@ TEST_P(FuzzSeeds, BAPlusSurvivesChaos) {
       },
       {1, 5},
       [&](int id) {
-        return std::make_shared<Chaos>(static_cast<std::uint64_t>(seed) * 10 +
-                                       static_cast<std::uint64_t>(id));
+        return std::make_shared<adv::Chaos>(
+            static_cast<std::uint64_t>(seed) * 10 +
+            static_cast<std::uint64_t>(id));
       });
-  EXPECT_TRUE(all_agree(run.outputs));
+  EXPECT_TRUE(InvariantOracle::agreement(run.outputs));
 }
 
 TEST_P(FuzzSeeds, LongBAPlusSurvivesChaos) {
@@ -99,10 +59,11 @@ TEST_P(FuzzSeeds, LongBAPlusSurvivesChaos) {
       [&](net::PartyContext& ctx, int) { return lba.run(ctx, shared); },
       {0, 6},
       [&](int id) {
-        return std::make_shared<Chaos>(static_cast<std::uint64_t>(seed) * 31 +
-                                       static_cast<std::uint64_t>(id));
+        return std::make_shared<adv::Chaos>(
+            static_cast<std::uint64_t>(seed) * 31 +
+            static_cast<std::uint64_t>(id));
       });
-  EXPECT_TRUE(all_agree(run.outputs));
+  EXPECT_TRUE(InvariantOracle::agreement(run.outputs));
   // All honest parties share the input, so chaos cannot force bottom or a
   // different value (Validity).
   for (const auto& out : run.outputs) {
@@ -110,6 +71,11 @@ TEST_P(FuzzSeeds, LongBAPlusSurvivesChaos) {
     ASSERT_TRUE(out->has_value());
     EXPECT_EQ(**out, shared);
   }
+  // Honest communication must be insensitive to the chaos traffic: a very
+  // generous multiple of the Theorem 1 cost O(l n + kappa n^2 log n), as a
+  // smoke budget against honest-side blowups.
+  EXPECT_TRUE(InvariantOracle::honest_bits_within(run.stats, 64ull * 8 *
+                                                  (300 * 8 * n + 256 * n * n * 3)));
 }
 
 TEST_P(FuzzSeeds, PiZSurvivesChaos) {
@@ -124,9 +90,9 @@ TEST_P(FuzzSeeds, PiZSurvivesChaos) {
     inputs.emplace_back(BigNat::pow2(10) + vrng.nat_below_pow2(10), false);
   }
   std::vector<std::optional<BigInt>> outputs(n);
-  net.set_byzantine(2, std::make_shared<Chaos>(
+  net.set_byzantine(2, std::make_shared<adv::Chaos>(
                            static_cast<std::uint64_t>(seed) * 101 + 2));
-  net.set_byzantine(4, std::make_shared<Chaos>(
+  net.set_byzantine(4, std::make_shared<adv::Chaos>(
                            static_cast<std::uint64_t>(seed) * 101 + 4));
   for (const int id : {0, 1, 3, 5, 6}) {
     net.set_honest(id, [&, id](net::PartyContext& ctx) {
@@ -138,8 +104,7 @@ TEST_P(FuzzSeeds, PiZSurvivesChaos) {
 
   ca::SimResult r;
   r.outputs = std::move(outputs);
-  EXPECT_TRUE(r.agreement());
-  EXPECT_TRUE(r.convex_validity(inputs));
+  EXPECT_TRUE(InvariantOracle::convex_agreement(r, inputs));
 }
 
 TEST_P(FuzzSeeds, HighCostCASurvivesChaos) {
@@ -157,15 +122,12 @@ TEST_P(FuzzSeeds, HighCostCASurvivesChaos) {
       },
       {0, 3},  // includes the first king
       [&](int id) {
-        return std::make_shared<Chaos>(static_cast<std::uint64_t>(seed) * 53 +
-                                       static_cast<std::uint64_t>(id));
+        return std::make_shared<adv::Chaos>(
+            static_cast<std::uint64_t>(seed) * 53 +
+            static_cast<std::uint64_t>(id));
       });
-  EXPECT_TRUE(all_agree(run.outputs));
-  for (const auto& out : run.outputs) {
-    if (!out) continue;
-    EXPECT_GE(*out, BigNat(800));
-    EXPECT_LE(*out, BigNat(839));
-  }
+  EXPECT_TRUE(InvariantOracle::agreement(run.outputs));
+  EXPECT_TRUE(InvariantOracle::within(run.outputs, BigNat(800), BigNat(839)));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds, ::testing::Range(0, 12));

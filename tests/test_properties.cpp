@@ -142,8 +142,8 @@ TEST_P(CAProperties, TerminationAgreementValidity) {
   cfg.extreme_high = BigInt(5'000'000'000LL);
 
   const SimResult r = run_simulation(*proto, cfg);  // throws = no termination
-  EXPECT_TRUE(r.agreement()) << case_name({GetParam(), 0});
-  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+  EXPECT_TRUE(test::InvariantOracle::convex_agreement(r, cfg.inputs))
+      << case_name({GetParam(), 0});
 }
 
 std::vector<Case> all_cases() {
@@ -173,6 +173,17 @@ std::vector<Case> all_cases() {
 INSTANTIATE_TEST_SUITE_P(Matrix, CAProperties,
                          ::testing::ValuesIn(all_cases()), case_name);
 
+// Every adversary Kind is exercised by the sweep above: a Kind added to the
+// taxonomy but filtered out of all_cases() fails here, not silently.
+TEST(CAProperties, SweepCoversEveryAdversaryKind) {
+  std::set<adv::Kind> swept;
+  for (const Case& c : all_cases()) swept.insert(c.adversary);
+  for (const adv::Kind kind : adv::kAllKinds) {
+    EXPECT_TRUE(swept.contains(kind)) << adv::to_string(kind);
+  }
+  EXPECT_EQ(swept.size(), adv::kKindCount);
+}
+
 // With fewer corruptions than the budget (t' < t), everything still holds.
 TEST(CAProperties, UnderprovisionedAdversary) {
   const ConvexAgreement proto;
@@ -183,8 +194,7 @@ TEST(CAProperties, UnderprovisionedAdversary) {
   cfg.inputs = make_inputs(Pattern::kSpread, cfg.n, rng);
   cfg.corruptions = {{4, adv::Kind::kSplitBrain}};
   const SimResult r = run_simulation(proto, cfg);
-  EXPECT_TRUE(r.agreement());
-  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+  EXPECT_TRUE(test::InvariantOracle::convex_agreement(r, cfg.inputs));
 }
 
 // Mixed adversary kinds in one run.
@@ -200,8 +210,7 @@ TEST(CAProperties, HeterogeneousAdversaries) {
                      {6, adv::Kind::kSpam},
                      {9, adv::Kind::kExtremeLow}};
   const SimResult r = run_simulation(proto, cfg);
-  EXPECT_TRUE(r.agreement());
-  EXPECT_TRUE(r.convex_validity(cfg.inputs));
+  EXPECT_TRUE(test::InvariantOracle::convex_agreement(r, cfg.inputs));
 }
 
 // The paper's motivating example: a +100C sensor cannot move the agreed
@@ -217,12 +226,9 @@ TEST(CAProperties, SensorOutlierScenario) {
   cfg.corruptions = {{5, adv::Kind::kExtremeHigh}, {6, adv::Kind::kExtremeHigh}};
   cfg.extreme_high = BigInt(100000);  // "+100 degrees"
   const SimResult r = run_simulation(proto, cfg);
-  EXPECT_TRUE(r.agreement());
-  for (const auto& out : r.outputs) {
-    if (!out) continue;
-    EXPECT_GE(*out, BigInt(-10050));
-    EXPECT_LE(*out, BigInt(-10030));
-  }
+  EXPECT_TRUE(test::InvariantOracle::agreement(r.outputs));
+  EXPECT_TRUE(test::InvariantOracle::within(r.outputs, BigInt(-10050),
+                                            BigInt(-10030)));
 }
 
 }  // namespace

@@ -1,0 +1,180 @@
+// fuzz_driver: command-line front end for the adversary search (adv::Fuzzer).
+//
+//   fuzz_driver --budget-sec 60                 # sweep everything for 60s
+//   fuzz_driver --protocols PiZ,BAPlus --n 4    # focus the search
+//   fuzz_driver --corpus-out tests/corpus       # persist minimized repros
+//   fuzz_driver --replay tests/corpus/x.json    # deterministic re-execution
+//   fuzz_driver --expect-violation ...          # CI canary: fail unless the
+//                                               # oracle catches something
+//
+// Exit status: 0 = verdict matches expectation (clean sweep, or a violation
+// under --expect-violation), 1 = it does not, 2 = usage error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adversary/fuzzer.h"
+
+namespace {
+
+using coca::adv::CorpusEntry;
+using coca::adv::FuzzerOptions;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "fuzz_driver: " << error << "\n\n";
+  std::cerr <<
+      "usage: fuzz_driver [options]\n"
+      "  --budget-sec S       wall-clock search budget (default 10)\n"
+      "  --iters N            max cases to execute (default unlimited)\n"
+      "  --protocols A,B,...  targets to sweep (default: all; see --list)\n"
+      "  --n N1,N2,...        network sizes to draw from (default 4,7)\n"
+      "  --seed S             search-stream seed (default 1)\n"
+      "  --threads K          ExecPolicy window for every run (default 0 = auto)\n"
+      "  --no-shrink          report violations without minimizing them\n"
+      "  --corpus-out DIR     write each minimized violation to DIR/*.json\n"
+      "  --replay FILE        re-execute one corpus entry instead of searching\n"
+      "  --expect-violation   invert the exit status (canary runs must fail)\n"
+      "  --list               print the known protocol targets\n";
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string arg_value(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) usage("missing value for " + flag);
+  return argv[++i];
+}
+
+int replay(const std::string& path, int threads_override, bool has_threads) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "fuzz_driver: cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  CorpusEntry entry = coca::adv::corpus_entry_from_json(buf.str());
+  if (has_threads) entry.c.threads = threads_override;
+  const auto outcome = coca::adv::execute_case(entry.c);
+  std::cout << "replay " << path << " (" << entry.c.protocol
+            << ", n=" << entry.c.n << ", seed=" << entry.c.mutation.seed
+            << ", threads=" << entry.c.threads << ")\n";
+  if (outcome.verdict.ok()) {
+    std::cout << "  oracle: all invariants hold ("
+              << outcome.stats.rounds << " rounds, "
+              << outcome.stats.honest_bits() << " honest bits)\n";
+    return 0;
+  }
+  for (const auto& v : outcome.verdict.violations) {
+    std::cout << "  violation: " << v << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FuzzerOptions options;
+  options.sizes = {4, 7};
+  std::string corpus_out;
+  std::string replay_path;
+  bool expect_violation = false;
+  bool has_threads = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    try {
+      if (arg == "--budget-sec") {
+        options.budget_sec = std::stod(arg_value(argc, argv, i, arg));
+      } else if (arg == "--iters") {
+        options.max_cases = std::stoull(arg_value(argc, argv, i, arg));
+      } else if (arg == "--protocols") {
+        options.protocols = split_csv(arg_value(argc, argv, i, arg));
+      } else if (arg == "--n") {
+        options.sizes.clear();
+        for (const auto& s : split_csv(arg_value(argc, argv, i, arg))) {
+          options.sizes.push_back(std::stoi(s));
+        }
+      } else if (arg == "--seed") {
+        options.seed = std::stoull(arg_value(argc, argv, i, arg));
+      } else if (arg == "--threads") {
+        options.threads = std::stoi(arg_value(argc, argv, i, arg));
+        has_threads = true;
+      } else if (arg == "--no-shrink") {
+        options.shrink = false;
+      } else if (arg == "--corpus-out") {
+        corpus_out = arg_value(argc, argv, i, arg);
+      } else if (arg == "--replay") {
+        replay_path = arg_value(argc, argv, i, arg);
+      } else if (arg == "--expect-violation") {
+        expect_violation = true;
+      } else if (arg == "--list") {
+        for (const auto& p : coca::adv::known_protocols()) {
+          std::cout << p << "\n";
+        }
+        return 0;
+      } else if (arg == "--help" || arg == "-h") {
+        usage();
+      } else {
+        usage("unknown option " + arg);
+      }
+    } catch (const std::invalid_argument&) {
+      usage("bad value for " + arg);
+    } catch (const std::out_of_range&) {
+      usage("bad value for " + arg);
+    }
+  }
+
+  try {
+    if (!replay_path.empty()) {
+      const int status = replay(replay_path, options.threads, has_threads);
+      if (status == 2) return 2;
+      return expect_violation ? (status == 1 ? 0 : 1) : status;
+    }
+
+    coca::adv::Fuzzer fuzzer(options);
+    const auto report = fuzzer.run();
+    std::cout << "executed " << report.executed << " cases:";
+    for (const auto& [proto, count] : report.cases_by_protocol) {
+      std::cout << " " << proto << "=" << count;
+    }
+    std::cout << "\n";
+    for (const auto& entry : report.violations) {
+      std::cout << "violation (" << entry.c.protocol << ", n=" << entry.c.n
+                << ", mutation seed=" << entry.c.mutation.seed << "):\n";
+      for (const auto& v : entry.violations) {
+        std::cout << "  " << v << "\n";
+      }
+      if (!corpus_out.empty()) {
+        const std::string path = corpus_out + "/" + entry.c.protocol + "-" +
+                                 std::to_string(entry.c.mutation.seed) +
+                                 ".json";
+        std::ofstream out(path);
+        if (!out) {
+          std::cerr << "fuzz_driver: cannot write " << path << "\n";
+          return 2;
+        }
+        out << coca::adv::to_json(entry);
+        std::cout << "  wrote " << path << "\n";
+      }
+    }
+    if (report.violations.empty()) {
+      std::cout << "no violations: every execution satisfied the oracle\n";
+    }
+    const bool violated = !report.violations.empty();
+    return expect_violation ? (violated ? 0 : 1) : (violated ? 1 : 0);
+  } catch (const std::exception& e) {
+    std::cerr << "fuzz_driver: " << e.what() << "\n";
+    return 2;
+  }
+}
