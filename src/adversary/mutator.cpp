@@ -133,13 +133,13 @@ Bytes Mutator::apply(MutOp op, Bytes payload) {
   return payload;
 }
 
-void Mutator::on_send(std::size_t round, int to, Bytes payload,
+void Mutator::on_send(std::size_t round, int to, net::Payload payload,
                       const Emit& emit) {
   const MutOp op = pick_op();
   ++op_counts_[static_cast<std::size_t>(op)];
   switch (op) {
     case MutOp::kKeep:
-      emit(to, std::move(payload));
+      emit(to, std::move(payload));  // shared view passes through, no copy
       return;
     case MutOp::kOmit:
       return;
@@ -150,18 +150,22 @@ void Mutator::on_send(std::size_t round, int to, Bytes payload,
     case MutOp::kEquivocate: {
       // Corrupted copy to a different recipient, staged before that
       // recipient's legitimate message from this party: protocols that keep
-      // the first message per sender see the forgery instead.
+      // the first message per sender see the forgery instead. The copy is a
+      // deliberate deep copy (to_bytes) -- the original view passes through
+      // untouched to its legitimate recipient.
       if (config_.n > 1) {
         int other = static_cast<int>(rng_.below(
             static_cast<std::uint64_t>(config_.n - 1)));
         if (other >= to) ++other;
-        emit(other, corrupt(payload));
+        emit(other, net::Payload(corrupt(payload.to_bytes())));
       }
       emit(to, std::move(payload));
       return;
     }
     default:
-      emit(to, apply(op, std::move(payload)));
+      // Content operators mutate bytes in place: detach() is the
+      // copy-on-write point. Other views of the same buffer are unaffected.
+      emit(to, net::Payload(apply(op, std::move(payload).detach())));
       return;
   }
 }

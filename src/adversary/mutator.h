@@ -26,6 +26,13 @@
 // Determinism: all draws come from one Rng seeded by `MutatorConfig::seed`
 // and occur in the wrapped protocol's program order, so a (config, seed)
 // pair replays bit-for-bit under any ExecPolicy schedule.
+//
+// Payloads arrive as shared views (one `send_all` buffer backs all n
+// recipients). Content operators take ownership via `detach()` -- a
+// copy-on-write deep copy when the buffer is shared -- so corrupting one
+// recipient's message never leaks into the views the other recipients (or
+// the transcript) hold. Passthrough and delay keep the shared view: the
+// honest-traffic fraction of a mutated run stays zero-copy.
 #pragma once
 
 #include <array>
@@ -70,7 +77,7 @@ class Mutator final : public net::SendTap {
  public:
   explicit Mutator(MutatorConfig config);
 
-  void on_send(std::size_t round, int to, Bytes payload,
+  void on_send(std::size_t round, int to, net::Payload payload,
                const Emit& emit) override;
   void on_round_start(std::size_t round, const Emit& emit) override;
 
@@ -92,7 +99,7 @@ class Mutator final : public net::SendTap {
   struct Held {
     std::size_t due_round;
     int to;
-    Bytes payload;
+    net::Payload payload;  // shared view; replay does not copy
   };
   std::vector<Held> held_;
   std::array<std::uint64_t, kNumMutOps> op_counts_{};

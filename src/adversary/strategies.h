@@ -57,7 +57,7 @@ class Replay final : public net::ByzantineStrategy {
     if (traffic.empty()) return;
     for (int to = 0; to < view.n; ++to) {
       const auto& pick = traffic[view.rng->below(traffic.size())];
-      send(to, *pick.payload);
+      send(to, pick.payload->to_bytes());
     }
   }
 };
@@ -68,7 +68,7 @@ class Echo final : public net::ByzantineStrategy {
  public:
   void on_round(const net::RoundView& view,
                 const std::function<void(int, Bytes)>& send) override {
-    for (const auto& e : *view.inbox) send(e.from, e.payload);
+    for (const auto& e : *view.inbox) send(e.from, e.payload.to_bytes());
   }
 };
 
@@ -95,14 +95,14 @@ class Chaos final : public net::ByzantineStrategy {
         case 3: {
           const auto& traffic = *view.honest_traffic;
           if (!traffic.empty()) {
-            send(to, *traffic[rng_.below(traffic.size())].payload);
+            send(to, traffic[rng_.below(traffic.size())].payload->to_bytes());
           }
           break;
         }
         default: {
           const auto& traffic = *view.honest_traffic;
           if (!traffic.empty()) {
-            Bytes cut = *traffic[rng_.below(traffic.size())].payload;
+            Bytes cut = traffic[rng_.below(traffic.size())].payload->to_bytes();
             cut.resize(rng_.below(cut.size() + 1));
             send(to, std::move(cut));
           }

@@ -37,7 +37,7 @@ struct AsyncNetwork::Impl {
     std::size_t seq;
     int from;
     int to;
-    Bytes payload;
+    net::Payload payload;  // shared view; scheduling never copies bytes
   };
 
   std::mutex mu;
@@ -75,11 +75,16 @@ int ProcessContext::n() const { return net_.n(); }
 int ProcessContext::t() const { return net_.t(); }
 
 void ProcessContext::send(int to, Bytes payload) {
+  net_.process_send(index_, to, net::Payload(std::move(payload)));
+}
+
+void ProcessContext::send(int to, net::Payload payload) {
   net_.process_send(index_, to, std::move(payload));
 }
 
-void ProcessContext::send_all(const Bytes& payload) {
-  for (int to = 0; to < n(); ++to) send(to, payload);
+void ProcessContext::send_all(net::Payload payload) {
+  // One shared buffer for all n recipients: each send is a refcount bump.
+  for (int to = 0; to < n(); ++to) net_.process_send(index_, to, payload);
 }
 
 Envelope ProcessContext::receive() { return net_.process_receive(index_); }
@@ -118,7 +123,8 @@ void AsyncNetwork::set_byzantine_process(int id, ProcessFn fn) {
   impl_->processes.push_back(std::move(p));
 }
 
-void AsyncNetwork::process_send(std::size_t index, int to, Bytes payload) {
+void AsyncNetwork::process_send(std::size_t index, int to,
+                                net::Payload payload) {
   require(to >= 0 && to < n_, "ProcessContext::send: bad recipient");
   Impl::Process& p = *impl_->processes[index];
   p.bytes_sent += payload.size();

@@ -30,6 +30,7 @@
 #include <memory>
 
 #include "net/exec_policy.h"
+#include "net/payload.h"
 #include "util/common.h"
 #include "util/rng.h"
 
@@ -41,9 +42,11 @@ namespace coca::async {
 inline constexpr std::uint64_t kProcessSeedDomain = 0xA57C0CA0'0000001DULL;
 inline constexpr std::uint64_t kSchedulerSeedDomain = 0xA57C0CA0'000005EDULL;
 
+/// A delivered message. The payload is a shared immutable view (see
+/// net/payload.h): a `send_all` stages one buffer for all n recipients.
 struct Envelope {
   int from = -1;
-  Bytes payload;
+  net::Payload payload;
 };
 
 enum class Scheduling {
@@ -72,7 +75,15 @@ class ProcessContext {
   /// Sends `payload` to `to`; delivery is at the scheduler's discretion
   /// (but guaranteed while the recipient keeps receiving).
   void send(int to, Bytes payload);
-  void send_all(const Bytes& payload);
+  void send(int to, net::Payload payload);
+  /// Same payload to all n processes; one shared buffer backs all n
+  /// deliveries (the rvalue/Payload overloads are zero-copy, the lvalue
+  /// overload deep-copies once, counted by PayloadMetrics).
+  void send_all(Bytes&& payload) { send_all(net::Payload(std::move(payload))); }
+  void send_all(const Bytes& payload) {
+    send_all(net::Payload::copy_of(payload));
+  }
+  void send_all(net::Payload payload);
 
   /// Blocks until the next message for this process is delivered.
   Envelope receive();
@@ -147,7 +158,7 @@ class AsyncNetwork {
   friend class ProcessContext;
   struct Impl;
 
-  void process_send(std::size_t index, int to, Bytes payload);
+  void process_send(std::size_t index, int to, net::Payload payload);
   Envelope process_receive(std::size_t index);
   void process_mark_done(std::size_t index);
 

@@ -81,7 +81,7 @@ std::optional<Bytes> DolevStrong::run(net::PartyContext& ctx,
   // received at slot s needs s+1 valid signatures from distinct parties,
   // the sender's among them.
   for (int slot = 0; slot <= t; ++slot) {
-    for (const Bytes& m : outbox) ctx.send_all(m);
+    for (Bytes& m : outbox) ctx.send_all(std::move(m));
     outbox.clear();
 
     std::map<int, int> processed;  // per-sender work bound vs flooding

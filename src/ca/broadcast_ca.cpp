@@ -36,11 +36,11 @@ BigInt BroadcastTrimCA::run(net::PartyContext& ctx, const BigInt& input) const {
   // sender's value is every honest party's input to Pi_lBA+, so BA Validity
   // turns this into a broadcast; for byzantine senders any agreed value (or
   // bottom) is acceptable.
-  const Bytes mine = encode_int(input);
+  const net::Payload mine(encode_int(input));  // shared across all sends
   std::vector<BigInt> view;
   for (int sender = 0; sender < n; ++sender) {
     if (ctx.id() == sender) ctx.send_all(mine);
-    Bytes received;
+    net::Payload received;  // view of the sender's buffer, no copy
     for (const auto& e : net::first_per_sender(ctx.advance())) {
       if (e.from == sender) received = e.payload;
     }

@@ -1,5 +1,7 @@
 #include "codec/gf16.h"
 
+#include <cstring>
+
 namespace coca::codec {
 
 namespace {
@@ -47,6 +49,68 @@ GF16::GF16() {
 const GF16& GF16::instance() {
   static const GF16 field;
   return field;
+}
+
+MulBy::MulBy(const GF16& f, Elem c) {
+  // Packed nibble tables: c * (d << 4s) for every nibble value d and nibble
+  // position s. 64 field muls, the only ones this constructor performs.
+  Elem nib[4][16];
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 16; ++d) {
+      nib[s][d] = f.mul(c, static_cast<Elem>(d << (4 * s)));
+    }
+  }
+  // Fold nibble pairs into byte tables by GF(2)-linearity: XORs only.
+  for (int b = 0; b < 256; ++b) {
+    lo_[b] = static_cast<Elem>(nib[0][b & 15] ^ nib[1][b >> 4]);
+    hi_[b] = static_cast<Elem>(nib[2][b & 15] ^ nib[3][b >> 4]);
+  }
+}
+
+void MulBy::mul_be(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t bytes) const {
+  std::size_t i = 0;
+  // Four symbols per iteration; the products are packed into one 64-bit
+  // lane and stored with a single memcpy (endian-agnostic: the lane is
+  // treated as bytes at both ends).
+  for (; i + 8 <= bytes; i += 8) {
+    std::uint8_t lane[8];
+    for (std::size_t s = 0; s < 8; s += 2) {
+      const Elem y = static_cast<Elem>(lo_[src[i + s + 1]] ^ hi_[src[i + s]]);
+      lane[s] = static_cast<std::uint8_t>(y >> 8);
+      lane[s + 1] = static_cast<std::uint8_t>(y);
+    }
+    std::memcpy(dst + i, lane, 8);
+  }
+  for (; i + 2 <= bytes; i += 2) {
+    const Elem y = static_cast<Elem>(lo_[src[i + 1]] ^ hi_[src[i]]);
+    dst[i] = static_cast<std::uint8_t>(y >> 8);
+    dst[i + 1] = static_cast<std::uint8_t>(y);
+  }
+}
+
+void MulBy::axpy_be(std::uint8_t* dst, const std::uint8_t* src,
+                    std::size_t bytes) const {
+  std::size_t i = 0;
+  for (; i + 8 <= bytes; i += 8) {
+    std::uint8_t lane[8];
+    for (std::size_t s = 0; s < 8; s += 2) {
+      const Elem y = static_cast<Elem>(lo_[src[i + s + 1]] ^ hi_[src[i + s]]);
+      lane[s] = static_cast<std::uint8_t>(y >> 8);
+      lane[s + 1] = static_cast<std::uint8_t>(y);
+    }
+    std::uint64_t a;
+    std::uint64_t b;
+    std::memcpy(&a, dst + i, 8);
+    std::memcpy(&b, lane, 8);
+    a ^= b;  // the 64-bit-wide accumulate
+    std::memcpy(dst + i, &a, 8);
+  }
+  for (; i + 2 <= bytes; i += 2) {
+    const Elem y = static_cast<Elem>(lo_[src[i + 1]] ^ hi_[src[i]]);
+    dst[i] ^= static_cast<std::uint8_t>(y >> 8);
+    dst[i + 1] ^= static_cast<std::uint8_t>(y);
+  }
 }
 
 }  // namespace coca::codec

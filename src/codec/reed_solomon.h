@@ -55,4 +55,22 @@ class ReedSolomon {
   std::vector<std::vector<GF16::Elem>> parity_;
 };
 
+/// Reference implementation: the original chunk-major scalar encoder and
+/// decoder, one field mul per symbol through the log/exp tables. The
+/// production paths above are table-driven and share-major; these stay as
+/// (a) the differential-test oracle -- independent down to the symbol mul --
+/// and (b) the small-buffer fallback where MulBy table construction would
+/// dominate. Bit-for-bit output equality with ReedSolomon is a tested
+/// invariant (the wire format is pinned by replay corpora and transcripts).
+namespace ref_ {
+
+std::vector<Bytes> encode(std::size_t n, std::size_t k, const Bytes& data);
+
+std::optional<Bytes> decode(
+    std::size_t n, std::size_t k,
+    const std::vector<std::pair<std::size_t, Bytes>>& shares,
+    std::size_t data_size);
+
+}  // namespace ref_
+
 }  // namespace coca::codec

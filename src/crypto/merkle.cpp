@@ -23,7 +23,7 @@ const Digest& empty_leaf_digest() {
 
 }  // namespace
 
-Digest MerkleTree::leaf_hash(const Bytes& data) {
+Digest MerkleTree::leaf_hash(std::span<const std::uint8_t> data) {
   Sha256 ctx;
   ctx.update(std::span<const std::uint8_t>(&kLeafTag, 1));
   ctx.update(data);
@@ -35,20 +35,36 @@ std::size_t MerkleTree::depth(std::size_t leaf_count) {
   return ceil_log2(leaf_count);
 }
 
-MerkleTree MerkleTree::build(const std::vector<Bytes>& leaves) {
+MerkleTree MerkleTree::build_views(
+    std::span<const std::span<const std::uint8_t>> leaves) {
   require(!leaves.empty(), "MerkleTree::build: need at least one leaf");
   MerkleTree t;
   t.leaf_count_ = leaves.size();
   t.width_ = std::size_t{1} << depth(leaves.size());
   t.nodes_.assign(2 * t.width_, Digest{});
-  for (std::size_t i = 0; i < t.width_; ++i) {
-    t.nodes_[t.width_ + i] =
-        i < leaves.size() ? leaf_hash(leaves[i]) : empty_leaf_digest();
+  // One hash context for the whole build: reset between leaves instead of
+  // constructing a fresh context (and padding buffer) per leaf.
+  Sha256 ctx;
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    ctx.reset();
+    ctx.update(std::span<const std::uint8_t>(&kLeafTag, 1));
+    ctx.update(leaves[i]);
+    t.nodes_[t.width_ + i] = ctx.finish();
+  }
+  for (std::size_t i = leaves.size(); i < t.width_; ++i) {
+    t.nodes_[t.width_ + i] = empty_leaf_digest();
   }
   for (std::size_t i = t.width_; i-- > 1;) {
     t.nodes_[i] = node_hash(t.nodes_[2 * i], t.nodes_[2 * i + 1]);
   }
   return t;
+}
+
+MerkleTree MerkleTree::build(const std::vector<Bytes>& leaves) {
+  std::vector<std::span<const std::uint8_t>> views;
+  views.reserve(leaves.size());
+  for (const Bytes& leaf : leaves) views.emplace_back(leaf.data(), leaf.size());
+  return build_views(std::span<const std::span<const std::uint8_t>>(views));
 }
 
 MerkleWitness MerkleTree::witness(std::size_t index) const {

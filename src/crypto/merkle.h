@@ -22,6 +22,14 @@ class MerkleTree {
   /// a fixed empty-leaf digest). Requires at least one leaf.
   static MerkleTree build(const std::vector<Bytes>& leaves);
 
+  /// MT.BUILD over borrowed byte views: identical tree, but callers hashing
+  /// slices of a larger buffer (e.g. Reed-Solomon share views) need not
+  /// materialize per-leaf Bytes copies. The whole build runs through one
+  /// reused hash context. (Distinct name: a `build({})` call must stay
+  /// unambiguous.)
+  static MerkleTree build_views(
+      std::span<const std::span<const std::uint8_t>> leaves);
+
   /// Root hash z: the kappa-bit encoding of the leaf multiset.
   const Digest& root() const { return nodes_[1]; }
 
@@ -41,7 +49,10 @@ class MerkleTree {
   static std::size_t depth(std::size_t leaf_count);
 
   /// Domain-separated leaf hash: H(0x00 || data).
-  static Digest leaf_hash(const Bytes& data);
+  static Digest leaf_hash(std::span<const std::uint8_t> data);
+  static Digest leaf_hash(const Bytes& data) {
+    return leaf_hash(std::span<const std::uint8_t>(data.data(), data.size()));
+  }
 
  private:
   MerkleTree() = default;

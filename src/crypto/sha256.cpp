@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "crypto/sha256_compress.h"
+
 namespace coca::crypto {
 
 namespace {
@@ -35,6 +37,14 @@ void Sha256::reset() {
   std::memcpy(h_, kInit, sizeof(h_));
   total_len_ = 0;
   buf_len_ = 0;
+}
+
+void Sha256::compress_blocks(const std::uint8_t* blocks, std::size_t nblocks) {
+  if (detail::sha_ni_available()) {
+    detail::compress_ni(h_, blocks, nblocks);
+    return;
+  }
+  for (std::size_t i = 0; i < nblocks; ++i) compress(blocks + 64 * i);
 }
 
 void Sha256::compress(const std::uint8_t* block) {
@@ -90,13 +100,14 @@ void Sha256::update(std::span<const std::uint8_t> data) {
     buf_len_ += take;
     off = take;
     if (buf_len_ == 64) {
-      compress(buf_);
+      compress_blocks(buf_, 1);
       buf_len_ = 0;
     }
   }
-  while (off + 64 <= data.size()) {
-    compress(data.data() + off);
-    off += 64;
+  const std::size_t whole = (data.size() - off) / 64;
+  if (whole != 0) {
+    compress_blocks(data.data() + off, whole);
+    off += 64 * whole;
   }
   if (off < data.size()) {
     std::memcpy(buf_, data.data() + off, data.size() - off);

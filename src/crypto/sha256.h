@@ -33,6 +33,9 @@ class Sha256 {
   Digest finish();
 
  private:
+  /// Compresses `nblocks` consecutive 64-byte blocks, dispatching to the
+  /// SHA-NI backend when the CPU has it (same FIPS 180-4 output either way).
+  void compress_blocks(const std::uint8_t* blocks, std::size_t nblocks);
   void compress(const std::uint8_t* block);
 
   std::uint32_t h_[8] = {};

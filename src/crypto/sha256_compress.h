@@ -1,0 +1,23 @@
+// Internal: hardware-accelerated SHA-256 compression backend.
+//
+// The Sha256 class dispatches its block compression to this unit when the
+// CPU provides the x86 SHA extensions (SHA-NI); the portable scalar
+// implementation in sha256.cpp remains the fallback and the reference. Both
+// compute the identical FIPS 180-4 function -- the NIST vector tests pin
+// the output regardless of which backend ran.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace coca::crypto::detail {
+
+/// True when the SHA-NI path is compiled in and the CPU supports it.
+bool sha_ni_available();
+
+/// Compresses `nblocks` consecutive 64-byte message blocks into `state`
+/// (eight working words, host order). Precondition: sha_ni_available().
+void compress_ni(std::uint32_t state[8], const std::uint8_t* blocks,
+                 std::size_t nblocks);
+
+}  // namespace coca::crypto::detail

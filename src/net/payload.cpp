@@ -1,0 +1,56 @@
+#include "net/payload.h"
+
+#include <atomic>
+
+namespace coca::net {
+
+namespace {
+
+std::atomic<std::uint64_t> g_copies{0};
+std::atomic<std::uint64_t> g_bytes_copied{0};
+
+void count_copy(std::size_t bytes) {
+  if (bytes == 0) return;  // empty copies allocate nothing
+  g_copies.fetch_add(1, std::memory_order_relaxed);
+  g_bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::uint64_t PayloadMetrics::copies() {
+  return g_copies.load(std::memory_order_relaxed);
+}
+
+std::uint64_t PayloadMetrics::bytes_copied() {
+  return g_bytes_copied.load(std::memory_order_relaxed);
+}
+
+Payload Payload::copy_of(const Bytes& bytes) {
+  count_copy(bytes.size());
+  return Payload(Bytes(bytes));
+}
+
+Bytes Payload::to_bytes() const {
+  count_copy(len_);
+  const auto s = span();
+  return Bytes(s.begin(), s.end());
+}
+
+Bytes Payload::detach() && {
+  if (!buf_) return Bytes{};
+  if (buf_.use_count() == 1 && off_ == 0 && len_ == buf_->size()) {
+    Bytes out = std::move(*buf_);
+    buf_.reset();
+    len_ = 0;
+    off_ = 0;
+    return out;
+  }
+  return to_bytes();  // shared or sliced: copy-on-write (counted)
+}
+
+const Bytes& Payload::empty_bytes() {
+  static const Bytes empty;
+  return empty;
+}
+
+}  // namespace coca::net

@@ -1,0 +1,120 @@
+// Refcounted immutable message payload: the zero-copy wire substrate.
+//
+// All simulator wire traffic is carried as `Payload` views: a shared
+// ownership handle onto one immutable byte buffer plus an (offset, length)
+// window. `send_all` stages ONE buffer shared by all n recipients; round
+// mailboxes, the rushing adversary's traffic view, and the Transcript all
+// hold views of that same buffer. Nothing on the honest path ever deep
+// copies message bytes.
+//
+// Ownership / copy-on-write rules (the substrate's determinism contract is
+// in DESIGN.md "Message substrate"):
+//   * A `Payload` is immutable through its own API: no accessor hands out a
+//     mutable reference to shared bytes.
+//   * Writers (a `SendTap` mutator corrupting one recipient's copy) call
+//     `detach()`: if the buffer is exclusively owned and the view spans it,
+//     the buffer is moved out for free; otherwise a deep copy is made and
+//     the other views are untouched (copy-on-write).
+//   * Every deep copy the substrate performs -- `copy_of`, `to_bytes`,
+//     a shared `detach` -- bumps the process-wide `PayloadMetrics` counters.
+//     `SyncNetwork::run` reports the per-run delta in
+//     `RunStats::payload_copies` / `payload_bytes_copied`, so "zero-copy" is
+//     asserted by tests, not assumed.
+//
+// For protocol code the type is Bytes-compatible: a full-buffer view
+// converts implicitly to `const Bytes&` (free), so `Reader r(e.payload)`,
+// map keys, and comparisons keep working unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "util/common.h"
+
+namespace coca::net {
+
+/// Process-wide deep-copy counters for the payload substrate. Monotonic;
+/// consumers (SyncNetwork::run, tests) sample before/after and diff.
+struct PayloadMetrics {
+  static std::uint64_t copies();
+  static std::uint64_t bytes_copied();
+};
+
+class Payload {
+ public:
+  /// Empty payload (no buffer).
+  Payload() = default;
+
+  /// Wraps `bytes`, taking ownership: zero-copy when the caller moves.
+  /// Deliberately implicit so rvalue Bytes flow into payload-typed APIs;
+  /// wrapping an *lvalue* copies into the parameter first -- on metered
+  /// paths prefer `Payload::copy_of`, which counts.
+  Payload(Bytes bytes)  // NOLINT(google-explicit-constructor)
+      : buf_(std::make_shared<Bytes>(std::move(bytes))),
+        len_(buf_->size()) {}
+
+  /// Deep-copies `bytes` into a fresh buffer (counted).
+  static Payload copy_of(const Bytes& bytes);
+
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+  const std::uint8_t* data() const {
+    return buf_ ? buf_->data() + off_ : nullptr;
+  }
+  std::uint8_t operator[](std::size_t i) const { return (*buf_)[off_ + i]; }
+
+  std::span<const std::uint8_t> span() const {
+    return buf_ ? std::span<const std::uint8_t>(buf_->data() + off_, len_)
+                : std::span<const std::uint8_t>();
+  }
+
+  /// The view as a `const Bytes&`, free of charge. Requires a full-buffer
+  /// view (every payload on the wire path is one); sliced views must go
+  /// through span() or to_bytes().
+  const Bytes& bytes() const {
+    if (!buf_) return empty_bytes();
+    ensure(off_ == 0 && len_ == buf_->size(),
+           "Payload::bytes: sliced view has no Bytes representation");
+    return *buf_;
+  }
+  operator const Bytes&() const { return bytes(); }  // NOLINT(google-explicit-constructor)
+
+  /// Owned deep copy of the viewed bytes (counted).
+  Bytes to_bytes() const;
+
+  /// Takes the bytes out for mutation: moves the buffer when this view is
+  /// the sole owner of a full buffer (free), deep-copies otherwise
+  /// (counted) -- the copy-on-write point for SendTap mutators.
+  Bytes detach() &&;
+
+  /// Sub-view sharing the same buffer; no copy.
+  Payload slice(std::size_t offset, std::size_t length) const {
+    require(offset + length <= len_, "Payload::slice: out of range");
+    Payload p = *this;
+    p.off_ += offset;
+    p.len_ = length;
+    if (p.len_ == 0) p.buf_.reset();
+    return p;
+  }
+
+  /// Number of Payload views sharing this buffer (diagnostics/tests).
+  long use_count() const { return buf_.use_count(); }
+
+  /// Content equality (byte-wise over the viewed window).
+  bool operator==(const Payload& other) const {
+    return std::ranges::equal(span(), other.span());
+  }
+  bool operator==(const Bytes& other) const {
+    return std::ranges::equal(span(), std::span<const std::uint8_t>(other));
+  }
+
+ private:
+  static const Bytes& empty_bytes();
+
+  std::shared_ptr<Bytes> buf_;  // immutable-by-discipline shared buffer
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
+
+}  // namespace coca::net

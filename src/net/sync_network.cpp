@@ -3,19 +3,70 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
 
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+// The fiber backend swaps user-space stacks, which ThreadSanitizer cannot
+// track without fiber annotations; under TSan the serial schedule falls
+// back to OS threads so the checker sees real threads.
+#if defined(__SANITIZE_THREAD__)
+#define COCA_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define COCA_TSAN 1
+#endif
+#endif
+#ifndef COCA_TSAN
+#define COCA_TSAN 0
+#endif
+
 namespace coca::net {
 
 namespace {
 
-/// Thrown into protocol code to unwind runner threads when the controller
-/// aborts a run. Deliberately outside the coca::Error hierarchy so protocol
-/// code cannot accidentally swallow it.
+/// Thrown into protocol code to unwind runner execution contexts when the
+/// controller aborts a run. Deliberately outside the coca::Error hierarchy
+/// so protocol code cannot accidentally swallow it.
 struct AbortSignal {};
+
+/// mmap-backed fiber stack with a PROT_NONE guard page at the low end, so
+/// a protocol overflowing its stack faults deterministically instead of
+/// corrupting a neighbouring fiber.
+class FiberStack {
+ public:
+  static constexpr std::size_t kSize = std::size_t{1} << 20;  // 1 MiB
+
+  FiberStack() {
+    page_ = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    base_ = ::mmap(nullptr, kSize + page_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    ensure(base_ != MAP_FAILED, "fiber stack mmap failed");
+    ::mprotect(base_, page_, PROT_NONE);
+  }
+  ~FiberStack() { ::munmap(base_, kSize + page_); }
+  FiberStack(const FiberStack&) = delete;
+  FiberStack& operator=(const FiberStack&) = delete;
+
+  void* sp() { return static_cast<char*>(base_) + page_; }
+  std::size_t size() const { return kSize; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t page_ = 0;
+};
+
+bool fibers_enabled() {
+  if (COCA_TSAN) return false;
+  // Escape hatch: COCA_NO_FIBERS forces the OS-thread backend everywhere.
+  return std::getenv("COCA_NO_FIBERS") == nullptr;
+}
 
 }  // namespace
 
@@ -25,11 +76,27 @@ std::vector<Envelope> first_per_sender(const std::vector<Envelope>& inbox) {
   int last_from = -1;
   for (const Envelope& e : inbox) {  // inbox is ordered by sender id
     if (e.from != last_from) {
-      out.push_back(e);
+      out.push_back(e);  // payload view copy: refcount bump, no byte copy
       last_from = e.from;
     }
   }
   return out;
+}
+
+std::vector<Envelope> first_per_sender(std::vector<Envelope>&& inbox) {
+  std::size_t kept = 0;
+  int last_from = -1;
+  for (Envelope& e : inbox) {
+    if (e.from != last_from) {
+      last_from = e.from;
+      if (kept != static_cast<std::size_t>(&e - inbox.data())) {
+        inbox[kept] = std::move(e);
+      }
+      ++kept;
+    }
+  }
+  inbox.resize(kept);
+  return std::move(inbox);
 }
 
 struct SyncNetwork::Runner {
@@ -39,13 +106,14 @@ struct SyncNetwork::Runner {
   std::optional<std::set<int>> allowed;
   // Outgoing-message wrapper for tapped byzantine protocol runners; the
   // local round counter feeds its on_send/on_round_start callbacks. Both
-  // are touched only by the runner's own thread.
+  // are touched only by the runner's own execution context.
   std::shared_ptr<SendTap> tap;
   std::size_t local_round = 0;
   ProtocolFn fn;
   std::unique_ptr<PartyContext> ctx;
-  std::thread thread;
 
+  // ---- OS-thread backend (parallel windows, and serial under TSan).
+  std::thread thread;
   // Barrier handshake, all guarded by Impl::mu. The controller releases a
   // runner by setting `go` and signalling `cv`; the runner consumes `go`,
   // runs its round slice, and parks again at the next advance(). While
@@ -53,41 +121,58 @@ struct SyncNetwork::Runner {
   std::condition_variable cv;
   bool go = false;
   bool in_flight = false;
+
+  // ---- Fiber backend (serial schedule): the runner is a cooperative
+  // fiber on the controller's thread; a release is one stack swap.
+  ucontext_t fiber_ctx = {};
+  std::unique_ptr<FiberStack> fiber_stack;
+  Impl* impl = nullptr;  // backpointer for the fiber trampoline
+
   enum class State { AtBarrier, Running, Finished };
   State state = State::AtBarrier;
   std::exception_ptr error;
   std::vector<Envelope> inbox_next;  // written by controller pre-release
 
-  // Runner-local staging and metrics: written only by the runner thread
-  // while Running, read by the controller only while the runner is parked
-  // at the barrier or finished (the barrier mutex orders these accesses).
-  // Keeping the outbox thread-local is what makes the parallel schedule
-  // deterministic: sends never contend, and the controller merges outboxes
-  // in canonical runner-table order at the barrier.
+  // Runner-local staging and metrics: written only by the runner's own
+  // execution context while Running, read by the controller only while the
+  // runner is parked at the barrier or finished (the barrier mutex orders
+  // these accesses in the thread backend; the fiber backend is single-
+  // threaded). Keeping the outbox runner-local is what makes the parallel
+  // schedule deterministic: sends never contend, and the controller merges
+  // outboxes in canonical runner-table order at the barrier.
   struct Staged {
     int to;
-    Bytes payload;
+    Payload payload;
   };
   std::vector<Staged> outbox;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_sent = 0;
   std::vector<std::string> phase_stack;
   std::map<std::string, std::uint64_t> phase_bytes;
+
+  /// makecontext entry point: runs the protocol function inside the fiber
+  /// and swaps back to the controller when it finishes (or unwinds).
+  /// makecontext only passes ints, so the Runner pointer travels as halves.
+  static void fiber_trampoline(unsigned hi, unsigned lo);
 };
 
 struct SyncNetwork::Scripted {
   int party = -1;
   std::shared_ptr<ByzantineStrategy> strategy;
   std::vector<Envelope> inbox;
+  std::vector<Envelope> inbox_next;  // pooled build buffer, swapped per round
   std::uint64_t bytes_sent = 0;
   Rng rng{0};
 };
 
 struct SyncNetwork::Impl {
+  int n = 0;
   std::mutex mu;
   std::condition_variable cv_ctrl;  // controller waits for parks
   std::size_t in_flight = 0;        // runners released and not yet parked
   bool abort = false;
+  bool fibers = false;               // backend chosen for the current run()
+  ucontext_t controller_ctx = {};
   ExecPolicy policy;                 // default: auto (COCA_THREADS / serial)
   Transcript* transcript = nullptr;  // optional recording sink
 
@@ -95,10 +180,162 @@ struct SyncNetwork::Impl {
   std::vector<std::unique_ptr<Scripted>> scripted;
   std::vector<int> role_of_party;  // 0 = unset, 1 = honest, 2 = byzantine
 
+  /// One delivered (from, to, payload-view) message on the wire.
+  struct Triplet {
+    int from;
+    int to;
+    Payload payload;
+  };
+
+  // Pooled per-round scratch: cleared (capacity kept) instead of
+  // reallocated every round.
+  std::vector<Triplet> wire;
+  std::vector<Triplet> byz_wire;
+  std::vector<RoundView::Sent> honest_traffic;
+  // party id -> indices into runners / scripted (built once per run);
+  // routing one round is O(messages), not O(messages * parties).
+  std::vector<std::vector<std::size_t>> runners_of_party;
+  std::vector<std::vector<std::size_t>> scripted_of_party;
+  std::vector<std::size_t> runner_msg_count;
+  std::vector<std::size_t> scripted_msg_count;
+
+  void build_routing_index() {
+    runners_of_party.assign(static_cast<std::size_t>(n), {});
+    scripted_of_party.assign(static_cast<std::size_t>(n), {});
+    for (std::size_t i = 0; i < runners.size(); ++i) {
+      runners_of_party[static_cast<std::size_t>(runners[i]->party)]
+          .push_back(i);
+    }
+    for (std::size_t i = 0; i < scripted.size(); ++i) {
+      scripted_of_party[static_cast<std::size_t>(scripted[i]->party)]
+          .push_back(i);
+    }
+    runner_msg_count.assign(runners.size(), 0);
+    scripted_msg_count.assign(scripted.size(), 0);
+  }
+
+  /// Drains all staged outboxes into `wire` as (from, to, payload) triplets
+  /// in canonical order -- runner-table order, send order within a runner --
+  /// and sums the bytes honest runners staged. Payloads move; no copies.
+  void drain_outboxes(std::uint64_t* honest_bytes) {
+    wire.clear();
+    for (auto& r : runners) {
+      for (auto& staged : r->outbox) {
+        if (r->honest) *honest_bytes += staged.payload.size();
+        wire.push_back({r->party, staged.to, std::move(staged.payload)});
+      }
+      r->outbox.clear();
+    }
+  }
+
+  /// Delivers one round: all runners are parked (or finished), so their
+  /// outboxes and metrics are safe to touch. Backend-agnostic; the thread
+  /// backend calls this with the barrier mutex held.
+  void deliver_round(std::size_t round) {
+    std::uint64_t round_honest_bytes = 0;
+    drain_outboxes(&round_honest_bytes);
+    honest_traffic.clear();
+    for (const Triplet& m : wire) {
+      honest_traffic.push_back({m.from, m.to, &m.payload});
+    }
+    // Scripted byzantine parties act last within the round (rushing).
+    // Their sends are staged separately: honest_traffic points into `wire`,
+    // which must stay unmodified while strategies run.
+    byz_wire.clear();
+    for (auto& s : scripted) {
+      RoundView view;
+      view.round = round;
+      view.self = s->party;
+      view.n = n;
+      view.t = t_for_views;
+      view.inbox = &s->inbox;
+      view.honest_traffic = &honest_traffic;
+      view.rng = &s->rng;
+      s->strategy->on_round(view, [&](int to, Bytes payload) {
+        require(to >= 0 && to < n,
+                "ByzantineStrategy sent to out-of-range recipient");
+        s->bytes_sent += payload.size();
+        byz_wire.push_back({s->party, to, Payload(std::move(payload))});
+      });
+    }
+    for (auto& m : byz_wire) wire.push_back(std::move(m));
+    byz_wire.clear();
+
+    // Route, ordered by sender id (stable within a sender).
+    std::stable_sort(wire.begin(), wire.end(),
+                     [](const Triplet& a, const Triplet& b) {
+                       return a.from < b.from;
+                     });
+    if (transcript != nullptr) {
+      Transcript::Round rec;
+      rec.honest_bytes = round_honest_bytes;
+      rec.messages.reserve(wire.size());
+      for (const Triplet& m : wire) {
+        rec.messages.push_back({m.from, m.to, m.payload});  // view copy
+      }
+      transcript->rounds.push_back(std::move(rec));
+    }
+    // Two-pass routing: count, reserve, fill -- every inbox is one exact
+    // allocation and every delivered payload a view of the sender's buffer.
+    std::fill(runner_msg_count.begin(), runner_msg_count.end(), 0);
+    std::fill(scripted_msg_count.begin(), scripted_msg_count.end(), 0);
+    for (const Triplet& m : wire) {
+      const auto to = static_cast<std::size_t>(m.to);
+      for (const std::size_t i : runners_of_party[to]) ++runner_msg_count[i];
+      for (const std::size_t i : scripted_of_party[to]) {
+        ++scripted_msg_count[i];
+      }
+    }
+    for (std::size_t i = 0; i < runners.size(); ++i) {
+      runners[i]->inbox_next.clear();
+      runners[i]->inbox_next.reserve(runner_msg_count[i]);
+    }
+    for (std::size_t i = 0; i < scripted.size(); ++i) {
+      scripted[i]->inbox_next.clear();
+      scripted[i]->inbox_next.reserve(scripted_msg_count[i]);
+    }
+    for (const Triplet& m : wire) {
+      const auto to = static_cast<std::size_t>(m.to);
+      for (const std::size_t i : runners_of_party[to]) {
+        runners[i]->inbox_next.push_back({m.from, m.payload});
+      }
+      for (const std::size_t i : scripted_of_party[to]) {
+        scripted[i]->inbox_next.push_back({m.from, m.payload});
+      }
+    }
+    for (auto& s : scripted) {
+      std::swap(s->inbox, s->inbox_next);
+      s->inbox_next.clear();
+    }
+    wire.clear();
+  }
+
+  /// Drains leftover sends (staged after a party's last advance()) into a
+  /// trailing transcript round so per-round bytes sum to the run totals.
+  void record_leftovers() {
+    if (transcript == nullptr) return;
+    std::uint64_t leftover_honest_bytes = 0;
+    drain_outboxes(&leftover_honest_bytes);
+    if (wire.empty()) return;
+    std::stable_sort(wire.begin(), wire.end(),
+                     [](const Triplet& a, const Triplet& b) {
+                       return a.from < b.from;
+                     });
+    Transcript::Round rec;
+    rec.honest_bytes = leftover_honest_bytes;
+    for (Triplet& m : wire) {
+      rec.messages.push_back({m.from, m.to, std::move(m.payload)});
+    }
+    transcript->rounds.push_back(std::move(rec));
+    wire.clear();
+  }
+
+  int t_for_views = 0;  // network t, for RoundView
+
   /// Releases every non-finished runner for one round slice, at most
   /// `window` concurrently, in canonical runner-table order, and waits
   /// until all of them are parked again (or finished). Returns false on
-  /// watchdog timeout. Caller holds `lk`.
+  /// watchdog timeout. Caller holds `lk`. (OS-thread backend.)
   bool run_wave(std::unique_lock<std::mutex>& lk, std::size_t window) {
     std::size_t next = 0;
     for (;;) {
@@ -123,9 +360,26 @@ struct SyncNetwork::Impl {
   }
 };
 
+void SyncNetwork::Runner::fiber_trampoline(unsigned hi, unsigned lo) {
+  auto* r = reinterpret_cast<Runner*>((static_cast<std::uintptr_t>(hi) << 32) |
+                                      static_cast<std::uintptr_t>(lo));
+  try {
+    r->state = State::Running;
+    r->fn(*r->ctx);
+  } catch (const AbortSignal&) {
+    // Controller-initiated unwind; not an error.
+  } catch (...) {
+    r->error = std::current_exception();
+  }
+  r->state = State::Finished;
+  swapcontext(&r->fiber_ctx, &r->impl->controller_ctx);
+}
+
 SyncNetwork::SyncNetwork(int n, int t) : n_(n), t_(t) {
   require(n >= 1 && t >= 0 && t < n, "SyncNetwork: need 0 <= t < n");
   impl_ = std::make_unique<Impl>();
+  impl_->n = n;
+  impl_->t_for_views = t;
   impl_->role_of_party.assign(static_cast<std::size_t>(n), 0);
 }
 
@@ -140,11 +394,16 @@ int PartyContext::n() const { return net_.n(); }
 int PartyContext::t() const { return net_.t(); }
 
 void PartyContext::send(int to, Bytes payload) {
+  net_.runner_send(runner_, to, Payload(std::move(payload)));
+}
+
+void PartyContext::send(int to, Payload payload) {
   net_.runner_send(runner_, to, std::move(payload));
 }
 
-void PartyContext::send_all(const Bytes& payload) {
-  for (int to = 0; to < n(); ++to) send(to, payload);
+void PartyContext::send_all(Payload payload) {
+  // One shared buffer for all n recipients: each stage is a refcount bump.
+  for (int to = 0; to < n(); ++to) net_.runner_send(runner_, to, payload);
 }
 
 std::vector<Envelope> PartyContext::advance() {
@@ -241,12 +500,14 @@ void SyncNetwork::set_transcript(Transcript* sink) {
   impl_->transcript = sink;
 }
 
-void SyncNetwork::runner_send(std::size_t runner_index, int to, Bytes payload) {
+void SyncNetwork::runner_send(std::size_t runner_index, int to,
+                              Payload payload) {
   Runner& r = *impl_->runners[runner_index];
   if (r.tap != nullptr) {
     r.tap->on_send(r.local_round, to, std::move(payload),
-                   [this, runner_index](int tap_to, Bytes tap_payload) {
-                     runner_stage(runner_index, tap_to, std::move(tap_payload));
+                   [this, runner_index](int tap_to, Payload tap_payload) {
+                     runner_stage(runner_index, tap_to,
+                                  std::move(tap_payload));
                    });
     return;
   }
@@ -254,7 +515,7 @@ void SyncNetwork::runner_send(std::size_t runner_index, int to, Bytes payload) {
 }
 
 void SyncNetwork::runner_stage(std::size_t runner_index, int to,
-                               Bytes payload) {
+                               Payload payload) {
   Runner& r = *impl_->runners[runner_index];
   require(to >= 0 && to < n_, "PartyContext::send: recipient out of range");
   if (r.allowed && !r.allowed->contains(to)) return;  // split-brain filter
@@ -280,7 +541,16 @@ void SyncNetwork::runner_pop_phase(std::size_t runner_index) {
 std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
   Runner& r = *impl_->runners[runner_index];
   std::vector<Envelope> inbox;
-  {
+  if (impl_->fibers) {
+    // Cooperative barrier: one stack swap to the controller, which resumes
+    // this fiber at the start of the next round slice. No locks: the whole
+    // network runs on one OS thread.
+    r.state = Runner::State::AtBarrier;
+    swapcontext(&r.fiber_ctx, &impl_->controller_ctx);
+    if (impl_->abort) throw AbortSignal{};
+    r.state = Runner::State::Running;
+    inbox = std::exchange(r.inbox_next, {});
+  } else {
     std::unique_lock lk(impl_->mu);
     r.state = Runner::State::AtBarrier;
     if (r.in_flight) {
@@ -295,12 +565,11 @@ std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
     inbox = std::exchange(r.inbox_next, {});
   }
   // The runner entered the next round; let a tap flush held-back messages
-  // before the wrapped protocol stages its own (lock released: staging is
-  // runner-local).
+  // before the wrapped protocol stages its own (staging is runner-local).
   ++r.local_round;
   if (r.tap != nullptr) {
     r.tap->on_round_start(r.local_round,
-                          [this, runner_index](int to, Bytes payload) {
+                          [this, runner_index](int to, Payload payload) {
                             runner_stage(runner_index, to, std::move(payload));
                           });
   }
@@ -315,75 +584,42 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
   }
   const std::size_t window =
       static_cast<std::size_t>(std::max(1, im.policy.window()));
+  im.fibers = window == 1 && fibers_enabled();
   if (im.transcript) im.transcript->rounds.clear();
-
-  // Launch runner threads. Each waits for its first release so that the
-  // pre-first-advance protocol segment obeys the same schedule as every
-  // later round slice.
-  for (auto& rp : im.runners) {
-    Runner& r = *rp;
-    r.thread = std::thread([this, &r] {
-      try {
-        {
-          std::unique_lock lk(impl_->mu);
-          r.cv.wait(lk, [&] { return r.go || impl_->abort; });
-          if (impl_->abort) throw AbortSignal{};
-          r.go = false;
-          r.state = Runner::State::Running;
-        }
-        r.fn(*r.ctx);
-      } catch (const AbortSignal&) {
-        // Controller-initiated unwind; not an error.
-      } catch (...) {
-        std::lock_guard lk(impl_->mu);
-        r.error = std::current_exception();
-      }
-      std::lock_guard lk(impl_->mu);
-      r.state = Runner::State::Finished;
-      if (r.in_flight) {
-        r.in_flight = false;
-        --impl_->in_flight;
-      }
-      impl_->cv_ctrl.notify_one();
-    });
-  }
+  im.build_routing_index();
+  const std::uint64_t copies_before = PayloadMetrics::copies();
+  const std::uint64_t bytes_copied_before = PayloadMetrics::bytes_copied();
 
   std::size_t rounds = 0;
   std::exception_ptr failure;
   std::string failure_reason;
 
-  {
-    std::unique_lock lk(im.mu);
+  if (im.fibers) {
+    // ---- Fiber backend: every runner is a cooperative fiber; the
+    // controller swaps into each in canonical order, delivers, repeats.
+    for (auto& rp : im.runners) {
+      Runner& r = *rp;
+      r.impl = &im;
+      r.fiber_stack = std::make_unique<FiberStack>();
+      getcontext(&r.fiber_ctx);
+      r.fiber_ctx.uc_stack.ss_sp = r.fiber_stack->sp();
+      r.fiber_ctx.uc_stack.ss_size = r.fiber_stack->size();
+      r.fiber_ctx.uc_link = &im.controller_ctx;
+      const auto ptr = reinterpret_cast<std::uintptr_t>(&r);
+      makecontext(&r.fiber_ctx,
+                  reinterpret_cast<void (*)()>(&Runner::fiber_trampoline), 2,
+                  static_cast<unsigned>(ptr >> 32),
+                  static_cast<unsigned>(ptr & 0xFFFFFFFFu));
+    }
     const auto all_finished = [&] {
       return std::all_of(im.runners.begin(), im.runners.end(), [](auto& r) {
         return r->state == Runner::State::Finished;
       });
     };
-
-    // Drains all staged outboxes into (from, to, payload) triplets in
-    // canonical order -- runner-table order, send order within a runner --
-    // and sums the bytes honest runners staged.
-    struct Triplet {
-      int from;
-      int to;
-      Bytes payload;
-    };
-    const auto drain_outboxes = [&](std::uint64_t* honest_bytes) {
-      std::vector<Triplet> wire;
-      for (auto& r : im.runners) {
-        for (auto& staged : r->outbox) {
-          if (r->honest) *honest_bytes += staged.payload.size();
-          wire.push_back({r->party, staged.to, std::move(staged.payload)});
-        }
-        r->outbox.clear();
-      }
-      return wire;
-    };
-
     for (;;) {
-      if (!im.run_wave(lk, window)) {
-        failure_reason = "SyncNetwork: round stalled (watchdog)";
-        break;
+      for (auto& rp : im.runners) {
+        if (rp->state == Runner::State::Finished) continue;
+        swapcontext(&im.controller_ctx, &rp->fiber_ctx);
       }
       for (auto& r : im.runners) {
         if (r->error && !failure) failure = r->error;
@@ -394,107 +630,102 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
         failure_reason = "SyncNetwork: max round count exceeded";
         break;
       }
-
-      // ---- Deliver one round. All runners are parked; their outboxes and
-      // metrics are safe to touch from here.
-      std::uint64_t round_honest_bytes = 0;
-      std::vector<Triplet> wire = drain_outboxes(&round_honest_bytes);
-      std::vector<RoundView::Sent> honest_traffic;
-      for (const Triplet& m : wire) {
-        honest_traffic.push_back({m.from, m.to, &m.payload});
-      }
-      // Scripted byzantine parties act last within the round (rushing).
-      // Their sends are staged separately: honest_traffic points into `wire`,
-      // which must stay unmodified while strategies run.
-      std::vector<Triplet> byz_wire;
-      for (auto& s : im.scripted) {
-        RoundView view;
-        view.round = rounds;
-        view.self = s->party;
-        view.n = n_;
-        view.t = t_;
-        view.inbox = &s->inbox;
-        view.honest_traffic = &honest_traffic;
-        view.rng = &s->rng;
-        s->strategy->on_round(view, [&](int to, Bytes payload) {
-          require(to >= 0 && to < n_,
-                  "ByzantineStrategy sent to out-of-range recipient");
-          s->bytes_sent += payload.size();
-          byz_wire.push_back({s->party, to, std::move(payload)});
-        });
-      }
-      for (auto& m : byz_wire) wire.push_back(std::move(m));
-
-      // Route, ordered by sender id (stable within a sender).
-      std::stable_sort(wire.begin(), wire.end(),
-                       [](const Triplet& a, const Triplet& b) {
-                         return a.from < b.from;
-                       });
-      if (im.transcript) {
-        Transcript::Round rec;
-        rec.honest_bytes = round_honest_bytes;
-        rec.messages.reserve(wire.size());
-        for (const Triplet& m : wire) {
-          rec.messages.push_back({m.from, m.to, m.payload});
-        }
-        im.transcript->rounds.push_back(std::move(rec));
-      }
-      std::vector<std::vector<Envelope>> runner_inbox(im.runners.size());
-      std::vector<std::vector<Envelope>> scripted_inbox(im.scripted.size());
-      for (const Triplet& m : wire) {
-        for (std::size_t i = 0; i < im.runners.size(); ++i) {
-          if (im.runners[i]->party == m.to) {
-            runner_inbox[i].push_back({m.from, m.payload});
-          }
-        }
-        for (std::size_t i = 0; i < im.scripted.size(); ++i) {
-          if (im.scripted[i]->party == m.to) {
-            scripted_inbox[i].push_back({m.from, m.payload});
-          }
-        }
-      }
-      for (std::size_t i = 0; i < im.runners.size(); ++i) {
-        im.runners[i]->inbox_next = std::move(runner_inbox[i]);
-      }
-      for (std::size_t i = 0; i < im.scripted.size(); ++i) {
-        im.scripted[i]->inbox = std::move(scripted_inbox[i]);
-      }
-
+      im.deliver_round(rounds);
       ++rounds;
     }
-
     if (failure || !failure_reason.empty()) {
+      // Unwind every parked fiber so protocol stack frames run their
+      // destructors before the stacks are freed.
       im.abort = true;
-      for (auto& r : im.runners) r->cv.notify_one();
-    } else if (im.transcript) {
-      // Sends staged after a party's last advance() were never delivered but
-      // do count as sent; surface them as a trailing transcript round so
-      // per-round bytes sum to the run totals.
-      std::uint64_t leftover_honest_bytes = 0;
-      std::vector<Triplet> leftovers = drain_outboxes(&leftover_honest_bytes);
-      if (!leftovers.empty()) {
-        std::stable_sort(leftovers.begin(), leftovers.end(),
-                         [](const Triplet& a, const Triplet& b) {
-                           return a.from < b.from;
-                         });
-        Transcript::Round rec;
-        rec.honest_bytes = leftover_honest_bytes;
-        for (const Triplet& m : leftovers) {
-          rec.messages.push_back({m.from, m.to, m.payload});
+      for (auto& rp : im.runners) {
+        if (rp->state != Runner::State::Finished) {
+          swapcontext(&im.controller_ctx, &rp->fiber_ctx);
         }
-        im.transcript->rounds.push_back(std::move(rec));
       }
+      im.abort = false;
+    } else {
+      im.record_leftovers();
+    }
+    for (auto& rp : im.runners) rp->fiber_stack.reset();
+  } else {
+    // ---- OS-thread backend. Launch runner threads; each waits for its
+    // first release so that the pre-first-advance protocol segment obeys
+    // the same schedule as every later round slice.
+    for (auto& rp : im.runners) {
+      Runner& r = *rp;
+      r.thread = std::thread([this, &r] {
+        try {
+          {
+            std::unique_lock lk(impl_->mu);
+            r.cv.wait(lk, [&] { return r.go || impl_->abort; });
+            if (impl_->abort) throw AbortSignal{};
+            r.go = false;
+            r.state = Runner::State::Running;
+          }
+          r.fn(*r.ctx);
+        } catch (const AbortSignal&) {
+          // Controller-initiated unwind; not an error.
+        } catch (...) {
+          std::lock_guard lk(impl_->mu);
+          r.error = std::current_exception();
+        }
+        std::lock_guard lk(impl_->mu);
+        r.state = Runner::State::Finished;
+        if (r.in_flight) {
+          r.in_flight = false;
+          --impl_->in_flight;
+        }
+        impl_->cv_ctrl.notify_one();
+      });
+    }
+
+    {
+      std::unique_lock lk(im.mu);
+      const auto all_finished = [&] {
+        return std::all_of(im.runners.begin(), im.runners.end(), [](auto& r) {
+          return r->state == Runner::State::Finished;
+        });
+      };
+      for (;;) {
+        if (!im.run_wave(lk, window)) {
+          failure_reason = "SyncNetwork: round stalled (watchdog)";
+          break;
+        }
+        for (auto& r : im.runners) {
+          if (r->error && !failure) failure = r->error;
+        }
+        if (failure) break;
+        if (all_finished()) break;
+        if (rounds >= max_rounds) {
+          failure_reason = "SyncNetwork: max round count exceeded";
+          break;
+        }
+        // All runners are parked; deliver one round.
+        im.deliver_round(rounds);
+        ++rounds;
+      }
+
+      if (failure || !failure_reason.empty()) {
+        im.abort = true;
+        for (auto& r : im.runners) r->cv.notify_one();
+      } else {
+        im.record_leftovers();
+      }
+    }
+
+    for (auto& r : im.runners) {
+      if (r->thread.joinable()) r->thread.join();
     }
   }
 
-  for (auto& r : im.runners) {
-    if (r->thread.joinable()) r->thread.join();
-  }
   if (failure) std::rethrow_exception(failure);
   if (!failure_reason.empty()) throw Error(failure_reason.c_str());
 
   RunStats stats;
   stats.rounds = rounds;
+  stats.payload_copies = PayloadMetrics::copies() - copies_before;
+  stats.payload_bytes_copied =
+      PayloadMetrics::bytes_copied() - bytes_copied_before;
   stats.bytes_by_party.assign(static_cast<std::size_t>(n_), 0);
   for (const auto& r : im.runners) {
     stats.bytes_by_party[static_cast<std::size_t>(r->party)] += r->bytes_sent;

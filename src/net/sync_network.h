@@ -7,16 +7,32 @@
 // parties observe all honest round-r messages before choosing their own
 // round-r messages, the strongest scheduling the synchronous model allows.
 //
-// Honest parties run protocol code as straight-line functions on dedicated
-// threads; `PartyContext::advance()` is the round barrier. This lets the
+// Honest parties run protocol code as straight-line functions;
+// `PartyContext::advance()` is the round barrier. This lets the
 // implementation mirror the paper's pseudocode one statement at a time.
 // Within a round the engine releases parties from the barrier under an
 // `ExecPolicy`: serially (the reference schedule) or on a fixed-size window
 // of `threads` concurrently-computing parties. Each party stages sends into
-// a thread-local outbox and draws from a per-party RNG stream split off the
+// a runner-local outbox and draws from a per-party RNG stream split off the
 // root seed, so both schedules are bit-for-bit transcript-identical --
 // inboxes are ordered by sender id, metered bits are summed per party, and
 // honest control flow depends only on agreed values.
+//
+// Execution backends: the serial schedule (window == 1) runs every party as
+// a cooperative fiber on the controller's own OS thread -- context switches
+// are a user-space stack swap (~100 ns) instead of a kernel thread
+// round-trip, and no locks are taken anywhere. Parallel windows run parties
+// on dedicated OS threads behind the barrier mutex exactly as before. Both
+// backends execute parties in the same canonical order and produce
+// identical transcripts; under ThreadSanitizer the fiber backend is
+// disabled (serial falls back to OS threads) so the race checker sees real
+// threads. One caveat: the fiber backend cannot interrupt a party that
+// loops forever without calling advance() (the OS-thread watchdog can).
+//
+// Wire traffic is carried as refcounted immutable `Payload` views (see
+// net/payload.h): `send_all` stages one buffer shared by all n recipients,
+// mailboxes and the Transcript hold views, and `RunStats` reports the
+// number of deep copies the substrate performed -- zero on the honest path.
 //
 // Byzantine parties come in three flavours:
 //  * scripted strategies (`ByzantineStrategy`) that fabricate arbitrary bytes,
@@ -36,6 +52,7 @@
 #include <vector>
 
 #include "net/exec_policy.h"
+#include "net/payload.h"
 #include "util/common.h"
 #include "util/rng.h"
 
@@ -56,21 +73,23 @@ constexpr std::uint64_t runner_stream_key(int party,
          static_cast<std::uint64_t>(runner_index);
 }
 
-/// A delivered message with its authenticated sender.
+/// A delivered message with its authenticated sender. The payload is a
+/// shared view: all recipients of one `send_all` alias one buffer.
 struct Envelope {
   int from = -1;
-  Bytes payload;
+  Payload payload;
 };
 
 /// Everything observable about one execution, in canonical order: per round,
 /// the delivered messages (after the sender-id/sequence merge, byzantine
 /// traffic last) and the bytes the honest parties staged. Serial and
-/// parallel schedules of the same run must compare equal.
+/// parallel schedules of the same run must compare equal. Messages hold
+/// payload *views*; equality is content equality.
 struct Transcript {
   struct Msg {
     int from = -1;
     int to = -1;
-    Bytes payload;
+    Payload payload;
     bool operator==(const Msg&) const = default;
   };
   struct Round {
@@ -85,7 +104,10 @@ struct Transcript {
 /// Keeps the first message of each sender, in sender-id order. Protocol
 /// steps of the paper implicitly assume one message per sender per round;
 /// duplicates are a byzantine artefact and are ignored deterministically.
+/// Copies are payload views (refcount bumps), never byte copies; the
+/// rvalue overload filters the inbox in place.
 std::vector<Envelope> first_per_sender(const std::vector<Envelope>& inbox);
+std::vector<Envelope> first_per_sender(std::vector<Envelope>&& inbox);
 
 class SyncNetwork;
 
@@ -102,8 +124,14 @@ class PartyContext {
 
   /// Stage a message to party `to` (0-based) for delivery at this round's end.
   void send(int to, Bytes payload);
-  /// Stage the same message to all n parties (including self).
-  void send_all(const Bytes& payload);
+  void send(int to, Payload payload);
+  /// Stage the same message to all n parties (including self). One shared
+  /// buffer backs all n deliveries. The rvalue/Payload overloads are
+  /// zero-copy; the lvalue overload deep-copies once (counted in
+  /// `RunStats::payload_copies`) -- move at the call site to avoid it.
+  void send_all(Bytes&& payload) { send_all(Payload(std::move(payload))); }
+  void send_all(const Bytes& payload) { send_all(Payload::copy_of(payload)); }
+  void send_all(Payload payload);
 
   /// Ends the current round: blocks until all parties advance, then returns
   /// every message addressed to this party in the round just ended, ordered
@@ -151,7 +179,7 @@ struct RoundView {
   struct Sent {
     int from;
     int to;
-    const Bytes* payload;
+    const Payload* payload;
   };
   /// Rushing adversary: all honest traffic of the *current* round.
   const std::vector<Sent>* honest_traffic = nullptr;
@@ -174,18 +202,23 @@ class ByzantineStrategy {
 /// selective-omission and equivocation attacks -- are built from: they get
 /// plausible protocol traffic for free and only decide how to corrupt it.
 ///
+/// Payloads arrive as shared views (a tapped `send_all` delivers the same
+/// buffer n times). A tap that corrupts bytes takes ownership via
+/// `std::move(payload).detach()` -- copy-on-write: recipients of the
+/// untouched views never observe the mutation.
+///
 /// Determinism contract: the tap is driven solely by the runner's own
-/// thread, in the wrapped protocol's program order, so tapped executions are
-/// transcript-identical across ExecPolicy schedules.
+/// execution context, in the wrapped protocol's program order, so tapped
+/// executions are transcript-identical across ExecPolicy schedules.
 class SendTap {
  public:
-  using Emit = std::function<void(int to, Bytes payload)>;
+  using Emit = std::function<void(int to, Payload payload)>;
 
   virtual ~SendTap() = default;
 
   /// One staged message of the wrapped protocol in round `round` (0-based);
   /// call `emit` any number of times to put messages on the wire instead.
-  virtual void on_send(std::size_t round, int to, Bytes payload,
+  virtual void on_send(std::size_t round, int to, Payload payload,
                        const Emit& emit) = 0;
 
   /// The wrapped protocol entered round `round` (it fires on every
@@ -204,6 +237,14 @@ struct RunStats {
   std::uint64_t honest_messages = 0;
   std::vector<std::uint64_t> bytes_by_party;
   std::map<std::string, std::uint64_t> honest_bytes_by_phase;
+
+  /// Deep payload copies the wire substrate performed during this run
+  /// (process-wide `PayloadMetrics` delta): 0 on the honest path --
+  /// `send_all` shares one buffer among all recipients, mailboxes and
+  /// transcript hold views. Nonzero only for copy-on-write detaches by
+  /// mutating SendTaps and for lvalue `send_all` calls.
+  std::uint64_t payload_copies = 0;
+  std::uint64_t payload_bytes_copied = 0;
 
   /// The paper's BITS_l measure: total bits sent by honest parties.
   std::uint64_t honest_bits() const { return honest_bytes * 8; }
@@ -258,8 +299,8 @@ class SyncNetwork {
   struct Scripted;
   struct Impl;
 
-  void runner_send(std::size_t runner_index, int to, Bytes payload);
-  void runner_stage(std::size_t runner_index, int to, Bytes payload);
+  void runner_send(std::size_t runner_index, int to, Payload payload);
+  void runner_stage(std::size_t runner_index, int to, Payload payload);
   std::vector<Envelope> runner_advance(std::size_t runner_index);
   void runner_push_phase(std::size_t runner_index, std::string name);
   void runner_pop_phase(std::size_t runner_index);

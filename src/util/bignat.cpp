@@ -31,14 +31,35 @@ BigNat BigNat::from_decimal(std::string_view s) {
 BigNat BigNat::from_bits(const Bitstring& bits) {
   BigNat r;
   const std::size_t n = bits.size();
-  r.limbs_.assign(ceil_div(n, 64), 0);
-  // Bit i (MSB-first) has weight 2^(n-1-i).
-  for (std::size_t i = 0; i < n; ++i) {
-    if (bits.bit(i)) {
-      const std::size_t w = n - 1 - i;
-      r.limbs_[w / 64] |= (std::uint64_t{1} << (w % 64));
-    }
+  if (n == 0) return r;
+  // The packed MSB-first bytes, read as one big-endian integer, equal
+  // VAL(bits) << pad (the trailing pad bits of the last byte are zero).
+  // Gather limbs eight bytes at a time from the byte tail, then undo the
+  // shift -- O(n/64) instead of a masked store per bit.
+  const Bytes& p = bits.packed();
+  const std::size_t nbytes = p.size();
+  const std::size_t pad = (8 - n % 8) % 8;
+  std::vector<std::uint64_t> tmp(ceil_div(nbytes, 8) + 1, 0);
+  std::size_t limb = 0;
+  std::size_t end = nbytes;  // one past the least-significant unconsumed byte
+  for (; end >= 8; end -= 8) {
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < 8; ++b) v = (v << 8) | p[end - 8 + b];
+    tmp[limb++] = v;
   }
+  if (end > 0) {
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < end; ++b) v = (v << 8) | p[b];
+    tmp[limb] = v;
+  }
+  if (pad != 0) {
+    for (std::size_t i = 0; i + 1 < tmp.size(); ++i) {
+      tmp[i] = (tmp[i] >> pad) | (tmp[i + 1] << (64 - pad));
+    }
+    tmp.back() >>= pad;
+  }
+  r.limbs_.assign(tmp.begin(),
+                  tmp.begin() + narrow<std::ptrdiff_t>(ceil_div(n, 64)));
   r.trim();
   return r;
 }
@@ -69,13 +90,36 @@ std::size_t BigNat::bit_length() const {
 
 Bitstring BigNat::to_bits(std::size_t ell) const {
   require(bit_length() <= ell, "BigNat::to_bits: value too large for ell bits");
-  Bitstring out = Bitstring::zeros(ell);
-  for (std::size_t w = 0; w < ell; ++w) {  // w = weight of bit
-    const std::size_t limb = w / 64;
-    if (limb >= limbs_.size()) break;
-    if ((limbs_[limb] >> (w % 64)) & 1U) out.set_bit(ell - 1 - w, true);
+  // Inverse of from_bits: emit value << pad as big-endian packed bytes,
+  // eight at a time per limb (see from_bits for the layout argument).
+  const std::size_t nbytes = ceil_div(ell, 8);
+  const std::size_t pad = (8 - ell % 8) % 8;
+  std::vector<std::uint64_t> tmp(ceil_div(nbytes, 8), 0);
+  std::copy(limbs_.begin(), limbs_.end(), tmp.begin());
+  if (pad != 0) {
+    for (std::size_t i = tmp.size(); i-- > 0;) {
+      const std::uint64_t lo = i > 0 ? tmp[i - 1] : 0;
+      tmp[i] = (tmp[i] << pad) | (lo >> (64 - pad));
+    }
   }
-  return out;
+  Bytes packed(nbytes, 0);
+  std::size_t j = nbytes;  // next byte to write, moving toward the front
+  std::size_t limb = 0;
+  for (; j >= 8; j -= 8, ++limb) {
+    std::uint64_t v = tmp[limb];
+    for (std::size_t b = 0; b < 8; ++b) {
+      packed[j - 1 - b] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  if (j > 0) {
+    std::uint64_t v = tmp[limb];
+    while (j > 0) {
+      packed[--j] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return Bitstring::from_packed(packed, ell);
 }
 
 std::uint64_t BigNat::to_u64() const {

@@ -1,0 +1,284 @@
+// Tests for the refcounted payload substrate (net/payload.h) and its
+// integration contract with SyncNetwork:
+//   * Payload view semantics: wrap, slice, detach (steal vs copy-on-write),
+//     equality, and the PayloadMetrics copy accounting.
+//   * Honest-path zero-copy: an all-honest broadcast run performs no deep
+//     payload copies at all (RunStats::payload_copies == 0).
+//   * COW aliasing: a SendTap that corrupts one recipient's payload must not
+//     leak the mutation into the other recipients' views or the transcript.
+//   * first_per_sender filters by view (refcount bumps), never byte copies.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "net/payload.h"
+#include "net/sync_network.h"
+#include "util/common.h"
+
+namespace coca::net {
+namespace {
+
+Bytes make_bytes(std::size_t size, std::uint8_t start) {
+  Bytes b(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    b[i] = static_cast<std::uint8_t>(start + i);
+  }
+  return b;
+}
+
+/// Samples the process-wide copy counters; tests diff before/after.
+struct MetricsSample {
+  std::uint64_t copies = PayloadMetrics::copies();
+  std::uint64_t bytes = PayloadMetrics::bytes_copied();
+
+  std::uint64_t copies_since() const { return PayloadMetrics::copies() - copies; }
+  std::uint64_t bytes_since() const {
+    return PayloadMetrics::bytes_copied() - bytes;
+  }
+};
+
+TEST(Payload, WrapFromRvalueIsZeroCopy) {
+  const MetricsSample before;
+  Bytes b = make_bytes(64, 1);
+  const std::uint8_t* data = b.data();
+  Payload p(std::move(b));
+  EXPECT_EQ(p.size(), 64u);
+  EXPECT_EQ(p.data(), data);  // same heap buffer: moved, not copied
+  EXPECT_EQ(before.copies_since(), 0u);
+  EXPECT_EQ(before.bytes_since(), 0u);
+}
+
+TEST(Payload, CopyOfCountsTheDeepCopy) {
+  const Bytes b = make_bytes(100, 7);
+  const MetricsSample before;
+  Payload p = Payload::copy_of(b);
+  EXPECT_EQ(p, b);
+  EXPECT_NE(p.data(), b.data());
+  EXPECT_EQ(before.copies_since(), 1u);
+  EXPECT_EQ(before.bytes_since(), 100u);
+}
+
+TEST(Payload, ViewCopiesShareOneBufferForFree) {
+  const MetricsSample before;
+  Payload p(make_bytes(32, 0));
+  EXPECT_EQ(p.use_count(), 1);
+  Payload q = p;
+  Payload r = q;
+  EXPECT_EQ(p.use_count(), 3);
+  EXPECT_EQ(q.data(), p.data());
+  EXPECT_EQ(r.data(), p.data());
+  EXPECT_EQ(before.copies_since(), 0u);
+}
+
+TEST(Payload, SliceIsAViewOfTheSameBuffer) {
+  const MetricsSample before;
+  Payload p(make_bytes(32, 0));
+  Payload s = p.slice(8, 16);
+  EXPECT_EQ(s.size(), 16u);
+  EXPECT_EQ(s.data(), p.data() + 8);
+  EXPECT_EQ(p.use_count(), 2);
+  EXPECT_EQ(s[0], p[8]);
+  EXPECT_EQ(before.copies_since(), 0u);
+  // An empty slice drops its buffer reference.
+  Payload e = p.slice(4, 0);
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.use_count(), 0);
+  EXPECT_THROW(p.slice(20, 16), Error);
+}
+
+TEST(Payload, BytesViewIsFreeForFullBufferViews) {
+  const MetricsSample before;
+  Payload p(make_bytes(24, 3));
+  const Bytes& view = p.bytes();
+  EXPECT_EQ(view.data(), p.data());
+  EXPECT_EQ(before.copies_since(), 0u);
+  // Sliced views have no Bytes representation; to_bytes makes a counted copy.
+  Payload s = p.slice(0, 8);
+  EXPECT_THROW((void)s.bytes(), std::logic_error);
+  const Bytes owned = s.to_bytes();
+  EXPECT_EQ(owned, make_bytes(8, 3));
+  EXPECT_EQ(before.copies_since(), 1u);
+  EXPECT_EQ(before.bytes_since(), 8u);
+}
+
+TEST(Payload, DetachStealsWhenSoleOwner) {
+  const MetricsSample before;
+  Payload p(make_bytes(48, 9));
+  const std::uint8_t* data = p.data();
+  Bytes stolen = std::move(p).detach();
+  EXPECT_EQ(stolen.data(), data);  // the buffer itself moved out
+  EXPECT_EQ(before.copies_since(), 0u);
+}
+
+TEST(Payload, DetachCopiesWhenShared) {
+  Payload p(make_bytes(48, 9));
+  Payload alias = p;
+  const MetricsSample before;
+  Bytes copy = std::move(p).detach();
+  copy[0] = 0xFF;  // mutate the detached bytes...
+  EXPECT_EQ(alias[0], 9);  // ...the surviving view is untouched
+  EXPECT_EQ(before.copies_since(), 1u);
+  EXPECT_EQ(before.bytes_since(), 48u);
+}
+
+TEST(Payload, EqualityIsContentOverTheViewedWindow) {
+  Payload p(make_bytes(16, 5));
+  Payload q(make_bytes(16, 5));
+  EXPECT_EQ(p, q);  // distinct buffers, equal content
+  EXPECT_EQ(p, make_bytes(16, 5));
+  EXPECT_FALSE(p == make_bytes(16, 6));
+  // A slice compares by its window, not the backing buffer.
+  Bytes whole = make_bytes(16, 5);
+  Payload s = p.slice(4, 8);
+  EXPECT_EQ(s, Bytes(whole.begin() + 4, whole.begin() + 12));
+}
+
+TEST(Payload, FirstPerSenderNeverCopiesBytes) {
+  Payload shared(make_bytes(256, 1));
+  std::vector<Envelope> inbox;  // sender-ordered, as advance() delivers it
+  inbox.push_back({0, shared});
+  inbox.push_back({1, shared});
+  inbox.push_back({2, shared});
+  inbox.push_back({2, Payload(make_bytes(8, 0))});  // duplicate sender
+  const MetricsSample before;
+  const std::vector<Envelope> kept = first_per_sender(inbox);
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].from, 0);
+  EXPECT_EQ(kept[1].from, 1);
+  EXPECT_EQ(kept[2].from, 2);
+  EXPECT_EQ(kept[2].payload.data(), shared.data());  // first msg kept, by view
+  EXPECT_EQ(before.copies_since(), 0u);
+  // The rvalue overload filters in place, also without copying.
+  std::vector<Envelope> moved = first_per_sender(std::move(inbox));
+  EXPECT_EQ(moved.size(), 3u);
+  EXPECT_EQ(before.copies_since(), 0u);
+}
+
+// An all-honest run where every party broadcasts a fresh buffer each round:
+// with the shared-buffer substrate the whole execution performs zero deep
+// payload copies -- the acceptance invariant for the zero-copy wire path.
+TEST(PayloadNetwork, HonestBroadcastIsZeroCopy) {
+  const int n = 7;
+  const int rounds = 4;
+  SyncNetwork net(n, 2);
+  for (int i = 0; i < n; ++i) {
+    net.set_honest(i, [rounds](PartyContext& ctx) {
+      for (int r = 0; r < rounds; ++r) {
+        Bytes msg = make_bytes(1024, static_cast<std::uint8_t>(r));
+        ctx.send_all(std::move(msg));
+        const std::vector<Envelope> inbox = ctx.advance();
+        ASSERT_EQ(inbox.size(), static_cast<std::size_t>(ctx.n()));
+      }
+    });
+  }
+  const RunStats stats = net.run();
+  EXPECT_EQ(stats.rounds, static_cast<std::size_t>(rounds));
+  EXPECT_EQ(stats.payload_copies, 0u);
+  EXPECT_EQ(stats.payload_bytes_copied, 0u);
+}
+
+// Broadcasting an lvalue is the one honest-path operation that must copy;
+// the stats account for exactly that copy.
+TEST(PayloadNetwork, LvalueSendAllCountsOneCopyPerBroadcast) {
+  const int n = 4;
+  SyncNetwork net(n, 1);
+  for (int i = 0; i < n; ++i) {
+    net.set_honest(i, [](PartyContext& ctx) {
+      const Bytes msg = make_bytes(100, 0);  // lvalue: send_all must copy it
+      ctx.send_all(msg);
+      ctx.advance();
+    });
+  }
+  const RunStats stats = net.run();
+  EXPECT_EQ(stats.payload_copies, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(stats.payload_bytes_copied, static_cast<std::uint64_t>(n) * 100);
+}
+
+/// Corrupts the first byte of every payload addressed to `victim`; forwards
+/// all other messages untouched (as the original shared views).
+class CorruptOneRecipient : public SendTap {
+ public:
+  explicit CorruptOneRecipient(int victim) : victim_(victim) {}
+
+  void on_send(std::size_t /*round*/, int to, Payload payload,
+               const Emit& emit) override {
+    if (to == victim_ && !payload.empty()) {
+      Bytes owned = std::move(payload).detach();  // COW: copies, buffer shared
+      owned[0] ^= 0xFF;
+      emit(to, Payload(std::move(owned)));
+    } else {
+      emit(to, std::move(payload));
+    }
+  }
+
+ private:
+  int victim_;
+};
+
+// A tapped send_all delivers one shared buffer to n recipients; the tap
+// detaches and corrupts only the victim's copy. Copy-on-write must isolate
+// the mutation: every other recipient and the transcript keep the original
+// bytes, and exactly one deep copy is performed per corrupted broadcast.
+TEST(PayloadNetwork, SendTapMutationDoesNotLeakIntoSharedViews) {
+  const int n = 5;
+  const int byz = 2;
+  const int victim = 4;
+  const Bytes original = make_bytes(512, 0x10);
+  Bytes corrupted = original;
+  corrupted[0] ^= 0xFF;
+
+  SyncNetwork net(n, 1);
+  std::vector<std::vector<Envelope>> inboxes(n);
+  for (int i = 0; i < n; ++i) {
+    if (i == byz) continue;
+    net.set_honest(i, [i, &inboxes](PartyContext& ctx) {
+      inboxes[i] = ctx.advance();
+    });
+  }
+  net.set_byzantine_protocol(
+      byz,
+      [&original](PartyContext& ctx) {
+        Bytes msg = original;
+        ctx.send_all(std::move(msg));
+        ctx.advance();
+      },
+      std::make_shared<CorruptOneRecipient>(victim));
+  Transcript transcript;
+  net.set_transcript(&transcript);
+
+  const MetricsSample before;
+  const RunStats stats = net.run();
+
+  // Exactly one deep copy: the victim's detach. (Byzantine traffic is not
+  // metered in honest_bytes, but substrate copies are counted regardless.)
+  EXPECT_EQ(stats.payload_copies, 1u);
+  EXPECT_EQ(stats.payload_bytes_copied, 512u);
+  EXPECT_EQ(before.copies_since(), 1u);
+
+  // The victim sees the corruption, nobody else does.
+  for (int i = 0; i < n; ++i) {
+    if (i == byz) continue;
+    ASSERT_EQ(inboxes[i].size(), 1u) << "party " << i;
+    EXPECT_EQ(inboxes[i][0].from, byz);
+    EXPECT_EQ(inboxes[i][0].payload, i == victim ? corrupted : original)
+        << "party " << i;
+  }
+
+  // The transcript's views of the untouched deliveries are the originals.
+  ASSERT_EQ(transcript.rounds.size(), stats.rounds);
+  int seen = 0;
+  for (const Transcript::Round& round : transcript.rounds) {
+    for (const Transcript::Msg& msg : round.messages) {
+      if (msg.from != byz) continue;
+      ++seen;
+      EXPECT_EQ(msg.payload, msg.to == victim ? corrupted : original)
+          << "transcript message to " << msg.to;
+    }
+  }
+  EXPECT_EQ(seen, n);  // send_all reaches every party, including self
+}
+
+}  // namespace
+}  // namespace coca::net

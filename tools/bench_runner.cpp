@@ -1,0 +1,276 @@
+// bench_runner: reproducible protocol benchmarks with machine-readable output.
+//
+//   bench_runner                          # full pinned matrix to stdout
+//   bench_runner --out BENCH_PR3.json     # write the JSON to a file
+//   bench_runner --baseline seed.json     # embed a prior run for before/after
+//   bench_runner --reps 5                 # best-of-N timing (default 3)
+//   bench_runner --smoke                  # CI probe: one fast config plus the
+//                                         # zero-copy broadcast check
+//
+// The matrix is pinned (protocol, n, ell, threads, seed) so runs are
+// comparable across commits; every entry reports wall-clock seconds,
+// honest_bits, rounds, and payload_copies. The JSON schema is versioned
+// ("coca-bench-v1") so downstream tooling can detect shape changes.
+//
+// Exit status: 0 = success, 1 = a run failed agreement or a smoke invariant
+// (honest broadcast must perform zero deep payload copies), 2 = usage error.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ca/broadcast_ca.h"
+#include "ca/driver.h"
+#include "net/sync_network.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace coca;
+
+[[noreturn]] void usage(const std::string& error = "") {
+  if (!error.empty()) std::cerr << "bench_runner: " << error << "\n\n";
+  std::cerr << "usage: bench_runner [options]\n"
+               "  --smoke            fast CI probe (one config + zero-copy "
+               "broadcast check)\n"
+               "  --out FILE         write JSON to FILE (default stdout)\n"
+               "  --baseline FILE    embed FILE's JSON as the \"baseline\" "
+               "field\n"
+               "  --reps N           best-of-N wall-clock (default 3)\n";
+  std::exit(2);
+}
+
+int max_t(int n) { return (n - 1) / 3; }
+
+/// Input spread pinned by seed: top bit set so every value has exactly
+/// `bits` bits, remainder uniform. Matches the seed-baseline capture.
+std::vector<BigInt> spread_inputs(int n, std::size_t bits,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BigInt> inputs;
+  for (int i = 0; i < n; ++i) {
+    inputs.emplace_back(BigNat::pow2(bits - 1) + rng.nat_below_pow2(bits - 1),
+                        false);
+  }
+  return inputs;
+}
+
+struct Entry {
+  const char* bench;
+  const char* protocol;
+  int n;
+  std::size_t ell;
+  adv::Kind kind;
+  std::uint64_t seed;
+};
+
+std::vector<Entry> full_matrix() {
+  std::vector<Entry> m;
+  for (std::size_t ell : {std::size_t{1} << 14, std::size_t{1} << 16,
+                          std::size_t{1} << 18, std::size_t{1} << 20}) {
+    m.push_back({"comm_vs_ell", "PiZ", 13, ell, adv::Kind::kGarbage,
+                 2000 + ell});
+  }
+  for (std::size_t ell :
+       {std::size_t{1} << 14, std::size_t{1} << 16, std::size_t{1} << 18}) {
+    m.push_back({"comm_vs_ell", "BroadcastTrim", 13, ell, adv::Kind::kGarbage,
+                 2000 + ell});
+  }
+  for (int n : {13, 19, 25, 31}) {
+    m.push_back({"comm_vs_n", "PiZ", n, 16384, adv::Kind::kSilent,
+                 1001 + static_cast<unsigned>(n)});
+  }
+  return m;
+}
+
+std::vector<Entry> smoke_matrix() {
+  return {{"smoke", "PiZ", 13, std::size_t{1} << 14, adv::Kind::kGarbage,
+           2000 + (std::size_t{1} << 14)}};
+}
+
+struct Result {
+  Entry entry;
+  double seconds = 0;
+  std::uint64_t honest_bits = 0;
+  std::size_t rounds = 0;
+  std::uint64_t payload_copies = 0;
+};
+
+/// Runs one matrix entry best-of-`reps`; throws on protocol failure.
+Result run_entry(const Entry& e, int reps) {
+  static const ca::ConvexAgreement pi_z;
+  static const ca::DefaultBAStack stack;
+  static const ca::BroadcastTrimCA broadcast(stack.kit());
+  const ca::CAProtocol& proto =
+      std::string(e.protocol) == "PiZ"
+          ? static_cast<const ca::CAProtocol&>(pi_z)
+          : static_cast<const ca::CAProtocol&>(broadcast);
+
+  ca::SimConfig cfg;
+  cfg.n = e.n;
+  cfg.t = max_t(e.n);
+  cfg.inputs = spread_inputs(e.n, e.ell, e.seed);
+  for (int i = 0; i < cfg.t; ++i) {
+    cfg.corruptions.push_back({(i * e.n) / std::max(1, cfg.t) + 1, e.kind});
+  }
+  cfg.extreme_low = BigInt(0);
+  cfg.extreme_high = BigInt(BigNat::pow2(24), false);
+  cfg.threads = 1;
+
+  Result out{e};
+  out.seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const ca::SimResult r = ca::run_simulation(proto, cfg);
+    const auto stop = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(stop - start).count();
+    if (s < out.seconds) out.seconds = s;
+    out.honest_bits = r.stats.honest_bits();
+    out.rounds = r.stats.rounds;
+    out.payload_copies = r.stats.payload_copies;
+    if (!r.agreement()) {
+      throw Error("bench_runner: agreement violated in benchmark run");
+    }
+  }
+  return out;
+}
+
+/// The zero-copy invariant probe: honest-only all-to-all broadcast of a
+/// 4 KiB payload. With the shared-buffer substrate this performs no deep
+/// payload copies at all, and the tier-1 test suite pins the same property;
+/// the smoke job fails loudly if a regression reintroduces copies.
+bool zero_copy_probe(std::string* detail) {
+  const int n = 7;
+  const int rounds = 5;
+  net::SyncNetwork net(n, 2);
+  for (int i = 0; i < n; ++i) {
+    net.set_honest(i, [rounds](net::PartyContext& ctx) {
+      for (int r = 0; r < rounds; ++r) {
+        Bytes big(4096, static_cast<std::uint8_t>(r));
+        ctx.send_all(std::move(big));  // rvalue: wraps without copying
+        ctx.advance();
+      }
+    });
+  }
+  const net::RunStats stats = net.run();
+  std::ostringstream os;
+  os << "payload_copies=" << stats.payload_copies
+     << " payload_bytes_copied=" << stats.payload_bytes_copied;
+  *detail = os.str();
+  return stats.payload_copies == 0;
+}
+
+void write_json(std::ostream& os, const std::vector<Result>& results,
+                const std::string& baseline_text, bool smoke) {
+  os << "{\n";
+  os << "  \"schema\": \"coca-bench-v1\",\n";
+  os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
+  os << "  \"entries\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "    {\"bench\": \"%s\", \"protocol\": \"%s\", \"n\": %d, \"t\": %d, "
+        "\"ell_bits\": %zu, \"threads\": 1, \"seed\": %llu, "
+        "\"seconds\": %.6f, \"honest_bits\": %llu, \"rounds\": %zu, "
+        "\"payload_copies\": %llu}%s",
+        r.entry.bench, r.entry.protocol, r.entry.n, max_t(r.entry.n),
+        r.entry.ell, static_cast<unsigned long long>(r.entry.seed), r.seconds,
+        static_cast<unsigned long long>(r.honest_bits), r.rounds,
+        static_cast<unsigned long long>(r.payload_copies),
+        i + 1 < results.size() ? ",\n" : "\n");
+    os << buf;
+  }
+  os << "  ]";
+  if (!baseline_text.empty()) {
+    os << ",\n  \"baseline\": " << baseline_text;
+  }
+  os << "\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  int reps = 3;
+  std::string out_path;
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--baseline") {
+      baseline_path = next();
+    } else if (arg == "--reps") {
+      reps = std::stoi(next());
+      if (reps < 1) usage("--reps must be >= 1");
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage("unknown option " + arg);
+    }
+  }
+
+  std::string baseline_text;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) usage("cannot read baseline file " + baseline_path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    baseline_text = ss.str();
+    while (!baseline_text.empty() &&
+           (baseline_text.back() == '\n' || baseline_text.back() == ' ')) {
+      baseline_text.pop_back();
+    }
+  }
+
+  int status = 0;
+  if (smoke) {
+    std::string detail;
+    if (zero_copy_probe(&detail)) {
+      std::cerr << "smoke: honest broadcast zero-copy ok (" << detail << ")\n";
+    } else {
+      std::cerr << "smoke: FAIL: honest broadcast copied payloads (" << detail
+                << ")\n";
+      status = 1;
+    }
+  }
+
+  std::vector<Result> results;
+  for (const Entry& e : smoke ? smoke_matrix() : full_matrix()) {
+    try {
+      results.push_back(run_entry(e, smoke ? 1 : reps));
+    } catch (const std::exception& ex) {
+      std::cerr << "bench_runner: " << ex.what() << "\n";
+      return 1;
+    }
+    const Result& r = results.back();
+    std::cerr << r.entry.bench << " " << r.entry.protocol << " n=" << r.entry.n
+              << " ell=" << r.entry.ell << ": " << r.seconds << "s, "
+              << r.honest_bits << " honest bits, " << r.rounds << " rounds, "
+              << r.payload_copies << " payload copies\n";
+  }
+
+  if (out_path.empty()) {
+    write_json(std::cout, results, baseline_text, smoke);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "bench_runner: cannot write " << out_path << "\n";
+      return 1;
+    }
+    write_json(out, results, baseline_text, smoke);
+  }
+  return status;
+}
