@@ -26,13 +26,24 @@ void validate_case(const FuzzCase& c) {
   require(c.n >= 4, "FuzzCase: need n >= 4");
   require(c.t >= 1 && 3 * c.t < c.n, "FuzzCase: need 1 <= t < n/3");
   require(c.ell >= 1, "FuzzCase: need ell >= 1");
-  require(!c.corrupted.empty() &&
-              c.corrupted.size() <= static_cast<std::size_t>(c.t),
-          "FuzzCase: need 1 <= |corrupted| <= t");
+  require(!c.corrupted.empty() || !c.faults.empty(),
+          "FuzzCase: need corrupted parties or a fault plan");
+  require(c.corrupted.size() <= static_cast<std::size_t>(c.t),
+          "FuzzCase: need |corrupted| <= t");
   std::set<int> seen;
   for (const int id : c.corrupted) {
     require(id >= 0 && id < c.n, "FuzzCase: corrupted id out of range");
     require(seen.insert(id).second, "FuzzCase: duplicate corrupted id");
+  }
+  c.faults.validate(c.n);
+  // A party is byzantine or environment-faulted, never both: charging a
+  // fault to an already-corrupted party would double-spend the adversary
+  // budget the oracle reasons about. Note |charged| itself is NOT capped
+  // at t -- pushing past the threshold is what the degradation campaign
+  // does; the oracle only promises invariants while the union fits in t.
+  for (const int id : c.faults.charged(c.n)) {
+    require(!seen.contains(id),
+            "FuzzCase: fault charged to a corrupted party");
   }
   require(c.mutation.max_delay >= 1, "FuzzCase: need max_delay >= 1");
   require(c.threads >= 0, "FuzzCase: need threads >= 0");
@@ -105,6 +116,16 @@ bool is_corrupted(const FuzzCase& c, int id) {
          c.corrupted.end();
 }
 
+/// Excluded from the oracle's guarantees: corrupted (byzantine) parties
+/// plus the parties the fault plan is charged to. The invariants quantify
+/// over everyone else.
+bool is_excluded(const FuzzCase& c, int id) {
+  if (is_corrupted(c, id)) return true;
+  if (c.faults.empty()) return false;
+  const std::vector<int> ch = c.faults.charged(c.n);
+  return std::binary_search(ch.begin(), ch.end(), id);
+}
+
 /// Runs `body(ctx, id)` as every party; corrupted parties run it as a
 /// byzantine-protocol instance behind a seeded Mutator tap (their outputs
 /// are discarded). `check` sees the honest outputs and may append
@@ -119,6 +140,7 @@ FuzzOutcome run_case(
   FuzzOutcome out;
   net::SyncNetwork net(c.n, c.t);
   net.set_exec_policy(net::ExecPolicy{c.threads});
+  if (!c.faults.empty()) net.set_fault_plan(c.faults);
   if (transcript != nullptr) net.set_transcript(transcript);
   std::vector<std::optional<Out>> outputs(static_cast<std::size_t>(c.n));
   for (int id = 0; id < c.n; ++id) {
@@ -137,21 +159,63 @@ FuzzOutcome run_case(
       });
     }
   }
-  try {
-    out.stats = net.run(budget.rounds);
-    out.terminated = true;
-  } catch (const std::exception& e) {
-    out.failure = e.what();
-    out.verdict.violations.push_back(classify_failure(out.failure));
-    return out;
-  }
-  if (out.stats.honest_bits() > budget.bits) {
-    out.verdict.violations.push_back(
-        "honest-bits: " + std::to_string(out.stats.honest_bits()) +
-        " bits exceed the smoke budget " + std::to_string(budget.bits));
+  if (c.faults.empty()) {
+    // Legacy strict execution: the first error aborts the whole run. Every
+    // fault-free case -- in particular the entire v1 corpus -- keeps this
+    // path, so its transcripts and verdicts stay bit-identical.
+    try {
+      out.stats = net.run(budget.rounds);
+      out.terminated = true;
+    } catch (const std::exception& e) {
+      out.failure = e.what();
+      out.verdict.violations.push_back(classify_failure(out.failure));
+      return out;
+    }
+    if (out.stats.honest_bits() > budget.bits) {
+      out.verdict.violations.push_back(
+          "honest-bits: " + std::to_string(out.stats.honest_bits()) +
+          " bits exceed the smoke budget " + std::to_string(budget.bits));
+    }
+  } else {
+    // Guarded execution: the engine survives per-party failures and
+    // reports structured outcomes. The oracle charges anything that
+    // happens to an excluded party to the adversary budget; a non-excluded
+    // party that aborts is a violation, and one that never decides
+    // registers below through its empty output slot. A timed-out run with
+    // every non-excluded party decided is fine -- frozen crashed runners
+    // legitimately keep the network alive until the round cap.
+    const net::RunReport report = net.run_report(budget.rounds);
+    out.stats = report.stats;
+    out.outcomes = report.outcomes;
+    out.terminated = !report.timed_out;
+    for (int id = 0; id < c.n; ++id) {
+      const auto uid = static_cast<std::size_t>(id);
+      if (is_excluded(c, id)) {
+        outputs[uid].reset();  // excluded outputs are not the oracle's business
+        continue;
+      }
+      if (report.outcomes[uid].outcome == net::Outcome::kAborted) {
+        out.verdict.violations.push_back("crash: party " + std::to_string(id) +
+                                         ": " + report.outcomes[uid].evidence);
+      }
+    }
+    // BITS_l budget over the non-excluded parties only: charged parties
+    // are the adversary's to waste.
+    std::uint64_t bits = 0;
+    for (int id = 0; id < c.n; ++id) {
+      if (!is_excluded(c, id)) {
+        bits += out.stats.bytes_by_party[static_cast<std::size_t>(id)] * 8;
+      }
+    }
+    if (bits > budget.bits) {
+      out.verdict.violations.push_back(
+          "honest-bits: " + std::to_string(bits) +
+          " non-excluded bits exceed the smoke budget " +
+          std::to_string(budget.bits));
+    }
   }
   for (int id = 0; id < c.n; ++id) {
-    if (!is_corrupted(c, id) && !outputs[static_cast<std::size_t>(id)]) {
+    if (!is_excluded(c, id) && !outputs[static_cast<std::size_t>(id)]) {
       out.verdict.violations.push_back("termination: honest party " +
                                        std::to_string(id) +
                                        " produced no output");
@@ -180,8 +244,8 @@ void check_agreement(const std::vector<std::optional<Out>>& outputs,
   }
 }
 
-/// Convex validity: every engaged output within [min, max] of the honest
-/// parties' inputs, compared with `less`.
+/// Convex validity: every engaged output within [min, max] of the
+/// non-excluded honest parties' inputs, compared with `less`.
 template <class Out, class Less>
 void check_hull(const FuzzCase& c, const std::vector<Out>& inputs,
                 const std::vector<std::optional<Out>>& outputs, Less less,
@@ -189,7 +253,7 @@ void check_hull(const FuzzCase& c, const std::vector<Out>& inputs,
   const Out* lo = nullptr;
   const Out* hi = nullptr;
   for (int id = 0; id < c.n; ++id) {
-    if (is_corrupted(c, id)) continue;
+    if (is_excluded(c, id)) continue;
     const Out& v = inputs[static_cast<std::size_t>(id)];
     if (lo == nullptr || less(v, *lo)) lo = &v;
     if (hi == nullptr || less(*hi, v)) hi = &v;
@@ -345,7 +409,7 @@ FuzzOutcome run_find_prefix(const FuzzCase& c, net::Transcript* tr) {
         const Bitstring* lo = nullptr;
         const Bitstring* hi = nullptr;
         for (int id = 0; id < c.n; ++id) {
-          if (is_corrupted(c, id)) continue;
+          if (is_excluded(c, id)) continue;
           const Bitstring& v = inputs[static_cast<std::size_t>(id)];
           if (lo == nullptr || Bitstring::numeric_compare(v, *lo) < 0) lo = &v;
           if (hi == nullptr || Bitstring::numeric_compare(*hi, v) < 0) hi = &v;
@@ -408,7 +472,7 @@ FuzzOutcome run_ba_plus_like(const FuzzCase& c, net::Transcript* tr,
         // compared the outputs, so the extras only need the first one.
         std::map<Bytes, int> honest_count;
         for (int id = 0; id < c.n; ++id) {
-          if (!is_corrupted(c, id)) {
+          if (!is_excluded(c, id)) {
             ++honest_count[inputs[static_cast<std::size_t>(id)]];
           }
         }
@@ -593,6 +657,16 @@ class JsonCursor {
     return v;
   }
 
+  /// Signed integer (the v2 fault schema needs it: shuffle party -1).
+  std::int64_t i64() {
+    ws();
+    const bool neg = pos_ < s_.size() && s_[pos_] == '-';
+    if (neg) ++pos_;
+    const std::uint64_t v = u64();
+    if (v > 0x7FFFFFFFFFFFFFFFULL) fail("integer overflow");
+    return neg ? -static_cast<std::int64_t>(v) : static_cast<std::int64_t>(v);
+  }
+
  private:
   [[noreturn]] void fail(const char* what) {
     throw Error("corpus JSON: " + std::string(what) + " at offset " +
@@ -632,7 +706,9 @@ FuzzOutcome execute_case(const FuzzCase& c, net::Transcript* transcript) {
 std::string to_json(const CorpusEntry& entry) {
   std::ostringstream os;
   os << "{\n";
-  os << "  \"schema\": \"coca-fuzz-v1\",\n";
+  os << "  \"schema\": \""
+     << (entry.c.faults.empty() ? "coca-fuzz-v1" : "coca-fuzz-v2")
+     << "\",\n";
   os << "  \"protocol\": \"";
   json_escape(os, entry.c.protocol);
   os << "\",\n";
@@ -653,6 +729,41 @@ std::string to_json(const CorpusEntry& entry) {
     os << (i ? ", " : "") << entry.c.mutation.weights[i];
   }
   os << "]},\n";
+  if (!entry.c.faults.empty()) {
+    const net::FaultPlan& f = entry.c.faults;
+    os << "  \"faults\": {\n";
+    os << "    \"crashes\": [";
+    for (std::size_t i = 0; i < f.crashes.size(); ++i) {
+      os << (i ? ", " : "") << "{\"party\": " << f.crashes[i].party
+         << ", \"from_round\": " << f.crashes[i].from_round
+         << ", \"until_round\": " << f.crashes[i].until_round << "}";
+    }
+    os << "],\n";
+    os << "    \"cuts\": [";
+    for (std::size_t i = 0; i < f.cuts.size(); ++i) {
+      os << (i ? ", " : "") << "{\"from\": " << f.cuts[i].from
+         << ", \"to\": " << f.cuts[i].to
+         << ", \"from_round\": " << f.cuts[i].from_round
+         << ", \"until_round\": " << f.cuts[i].until_round << "}";
+    }
+    os << "],\n";
+    os << "    \"partitions\": [";
+    for (std::size_t i = 0; i < f.partitions.size(); ++i) {
+      os << (i ? ", " : "") << "{\"side\": [";
+      for (std::size_t j = 0; j < f.partitions[i].side.size(); ++j) {
+        os << (j ? ", " : "") << f.partitions[i].side[j];
+      }
+      os << "], \"from_round\": " << f.partitions[i].from_round
+         << ", \"until_round\": " << f.partitions[i].until_round << "}";
+    }
+    os << "],\n";
+    os << "    \"shuffles\": [";
+    for (std::size_t i = 0; i < f.shuffles.size(); ++i) {
+      os << (i ? ", " : "") << "{\"party\": " << f.shuffles[i].party
+         << ", \"seed\": " << f.shuffles[i].seed << "}";
+    }
+    os << "]\n  },\n";
+  }
   os << "  \"violations\": [";
   for (std::size_t i = 0; i < entry.violations.size(); ++i) {
     os << (i ? ", " : "") << "\"";
@@ -676,7 +787,8 @@ CorpusEntry corpus_entry_from_json(std::string_view json) {
       const std::string key = cur.string();
       cur.expect(':');
       if (key == "schema") {
-        require(cur.string() == "coca-fuzz-v1",
+        const std::string schema = cur.string();
+        require(schema == "coca-fuzz-v1" || schema == "coca-fuzz-v2",
                 "corpus JSON: unsupported schema");
         saw_schema = true;
       } else if (key == "protocol") {
@@ -721,6 +833,96 @@ CorpusEntry corpus_entry_from_json(std::string_view json) {
           }
         } while (cur.consume(','));
         cur.expect('}');
+      } else if (key == "faults") {
+        net::FaultPlan& f = entry.c.faults;
+        // Each fault kind is an array of flat objects; every field of the
+        // struct must be spelled out (strict, like the rest of the schema).
+        const auto fields = [&cur](const auto& field) {
+          cur.expect('{');
+          do {
+            const std::string fk = cur.string();
+            cur.expect(':');
+            field(fk);
+          } while (cur.consume(','));
+          cur.expect('}');
+        };
+        cur.expect('{');
+        do {
+          const std::string fkey = cur.string();
+          cur.expect(':');
+          cur.expect('[');
+          if (cur.consume(']')) continue;
+          do {
+            if (fkey == "crashes") {
+              net::FaultPlan::Crash cr;
+              fields([&](const std::string& k) {
+                if (k == "party") {
+                  cr.party = narrow<int>(cur.u64());
+                } else if (k == "from_round") {
+                  cr.from_round = cur.u64();
+                } else if (k == "until_round") {
+                  cr.until_round = cur.u64();
+                } else {
+                  throw Error("corpus JSON: unknown crash key '" + k + "'");
+                }
+              });
+              f.crashes.push_back(cr);
+            } else if (fkey == "cuts") {
+              net::FaultPlan::LinkCut cut;
+              fields([&](const std::string& k) {
+                if (k == "from") {
+                  cut.from = narrow<int>(cur.u64());
+                } else if (k == "to") {
+                  cut.to = narrow<int>(cur.u64());
+                } else if (k == "from_round") {
+                  cut.from_round = cur.u64();
+                } else if (k == "until_round") {
+                  cut.until_round = cur.u64();
+                } else {
+                  throw Error("corpus JSON: unknown cut key '" + k + "'");
+                }
+              });
+              f.cuts.push_back(cut);
+            } else if (fkey == "partitions") {
+              net::FaultPlan::Partition part;
+              fields([&](const std::string& k) {
+                if (k == "side") {
+                  cur.expect('[');
+                  if (!cur.consume(']')) {
+                    do {
+                      part.side.push_back(narrow<int>(cur.u64()));
+                    } while (cur.consume(','));
+                    cur.expect(']');
+                  }
+                } else if (k == "from_round") {
+                  part.from_round = cur.u64();
+                } else if (k == "until_round") {
+                  part.until_round = cur.u64();
+                } else {
+                  throw Error("corpus JSON: unknown partition key '" + k +
+                              "'");
+                }
+              });
+              f.partitions.push_back(std::move(part));
+            } else if (fkey == "shuffles") {
+              net::FaultPlan::Shuffle sh;
+              fields([&](const std::string& k) {
+                if (k == "party") {
+                  sh.party = narrow<int>(cur.i64());
+                } else if (k == "seed") {
+                  sh.seed = cur.u64();
+                } else {
+                  throw Error("corpus JSON: unknown shuffle key '" + k + "'");
+                }
+              });
+              f.shuffles.push_back(sh);
+            } else {
+              throw Error("corpus JSON: unknown faults key '" + fkey + "'");
+            }
+          } while (cur.consume(','));
+          cur.expect(']');
+        } while (cur.consume(','));
+        cur.expect('}');
       } else if (key == "violations") {
         cur.expect('[');
         entry.violations.clear();
@@ -754,11 +956,24 @@ FuzzCase shrink_case(FuzzCase c, const FailPredicate& still_fails,
     c = std::move(cand);
     return true;
   };
+  // Drops one entry of one fault kind; a candidate that would leave the
+  // case with neither corrupted parties nor faults is skipped (invalid).
+  const auto drop_fault_entry = [&](auto member) {
+    for (std::size_t i = 0; i < (c.faults.*member).size(); ++i) {
+      FuzzCase cand = c;
+      auto& vec = cand.faults.*member;
+      vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(i));
+      if (cand.corrupted.empty() && cand.faults.empty()) continue;
+      if (try_swap(std::move(cand))) return true;
+    }
+    return false;
+  };
   bool progress = true;
   while (progress && attempts < max_attempts) {
     progress = false;
-    // Fewer corrupted parties.
-    if (c.corrupted.size() > 1) {
+    // Fewer corrupted parties (down to none while faults remain).
+    if (c.corrupted.size() > 1 ||
+        (!c.corrupted.empty() && !c.faults.empty())) {
       for (std::size_t i = 0; i < c.corrupted.size(); ++i) {
         FuzzCase cand = c;
         cand.corrupted.erase(cand.corrupted.begin() +
@@ -769,8 +984,16 @@ FuzzCase shrink_case(FuzzCase c, const FailPredicate& still_fails,
         }
       }
     }
-    // Smallest network: n = 4, t = 1, one corrupted party.
-    if (c.n > 4) {
+    // Fewer fault entries.
+    if (drop_fault_entry(&net::FaultPlan::crashes)) progress = true;
+    if (drop_fault_entry(&net::FaultPlan::cuts)) progress = true;
+    if (drop_fault_entry(&net::FaultPlan::partitions)) progress = true;
+    if (drop_fault_entry(&net::FaultPlan::shuffles)) progress = true;
+    // Smallest network: n = 4, t = 1, one corrupted party. Skipped for
+    // fault-bearing cases: remapping every fault window's party ids into
+    // the shrunken network rarely preserves the failure and often makes
+    // the candidate malformed (dropping entries above does the same work).
+    if (c.n > 4 && c.faults.empty() && !c.corrupted.empty()) {
       FuzzCase cand = c;
       cand.n = 4;
       cand.t = 1;
@@ -829,12 +1052,44 @@ FuzzCase Fuzzer::next_case() {
   c.t = (c.n - 1) / 3;
   constexpr std::size_t kElls[] = {8, 16, 33, 64};
   c.ell = kElls[rng_.below(std::size(kElls))];
-  const auto num_corrupt = 1 + rng_.below(static_cast<std::uint64_t>(c.t));
+  // With faults in play the corrupted draw leaves room in the t budget for
+  // the plan's charged parties (possibly all of it: environment-only
+  // cases, the crash-fault literature's home turf, are reachable).
+  const bool with_faults = options_.faults && rng_.next_bool();
+  const auto num_corrupt =
+      with_faults ? rng_.below(static_cast<std::uint64_t>(c.t))
+                  : 1 + rng_.below(static_cast<std::uint64_t>(c.t));
   std::set<int> ids;
   while (ids.size() < num_corrupt) {
     ids.insert(static_cast<int>(rng_.below(static_cast<std::uint64_t>(c.n))));
   }
   c.corrupted.assign(ids.begin(), ids.end());
+  if (with_faults) {
+    // Resample until the charged set avoids the corrupted ids; every draw
+    // comes off the one search stream, so the whole case stays replayable
+    // from the fuzzer seed.
+    net::FaultSampleConfig fc;
+    fc.n = c.n;
+    fc.horizon = 24;
+    fc.max_charged = c.t - static_cast<int>(c.corrupted.size());
+    for (int attempt = 0; attempt < 8 && fc.max_charged >= 1; ++attempt) {
+      fc.seed = rng_.next_u64();
+      net::FaultPlan plan = net::sample_fault_plan(fc);
+      const std::vector<int> charged = plan.charged(c.n);
+      const bool overlap = std::any_of(
+          charged.begin(), charged.end(),
+          [&](int id) { return ids.contains(id); });
+      if (!overlap) {
+        c.faults = std::move(plan);
+        break;
+      }
+    }
+    if (c.corrupted.empty() && c.faults.empty()) {
+      // Disjointness never worked out; fall back to one corrupted party.
+      c.corrupted.push_back(
+          static_cast<int>(rng_.below(static_cast<std::uint64_t>(c.n))));
+    }
+  }
   c.input_seed = rng_.next_u64();
   c.mutation.seed = rng_.next_u64();
   c.mutation.max_delay = 1 + rng_.below(4);

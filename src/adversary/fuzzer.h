@@ -23,6 +23,13 @@
 // still-fails predicate, and `CorpusEntry` round-trips through JSON so
 // minimized counterexamples live in tests/corpus/ and replay
 // deterministically (same seed -> same transcript -> same verdict).
+//
+// Environment faults are a search dimension: a case may additionally carry
+// a `net::FaultPlan` (crash-stop, crash-recovery, link cuts, partitions,
+// inbox shuffles). The oracle then treats corrupted U charged as the
+// adversary's budget -- invariants are enforced over the remaining
+// parties, and the case is valid while |corrupted| <= t (the plan's
+// charged set may exceed t; the degradation campaign probes exactly that).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "adversary/mutator.h"
+#include "net/fault_plan.h"
 #include "net/sync_network.h"
 
 namespace coca::adv {
@@ -47,6 +55,10 @@ struct FuzzCase {
   std::vector<int> corrupted;  // parties wrapped in a Mutator
   MutatorConfig mutation;      // seed is the root; per-party streams derived
   int threads = 0;             // ExecPolicy (0 = auto)
+  /// Environment fault schedule (empty = none). Must be disjoint from
+  /// `corrupted` (a party is either byzantine or environment-faulted, not
+  /// both); a case needs at least one of the two to be non-empty.
+  net::FaultPlan faults;
 
   bool operator==(const FuzzCase&) const = default;
 };
@@ -62,6 +74,10 @@ struct FuzzOutcome {
   net::RunStats stats;     // meaningful iff `terminated`
   bool terminated = false;
   std::string failure;     // exception text when the run aborted
+  /// Per-party outcomes from the guarded engine path; populated only for
+  /// cases with a non-empty FaultPlan (the fault-free path keeps the
+  /// legacy first-error-aborts execution, bit-identical to v1 replays).
+  std::vector<net::PartyOutcome> outcomes;
 };
 
 /// The protocol targets the fuzzer knows how to drive.
@@ -83,14 +99,17 @@ struct CorpusEntry {
   bool operator==(const CorpusEntry&) const = default;
 };
 
-/// JSON round trip for corpus files (schema "coca-fuzz-v1"; strict parse,
-/// throws Error on malformed input).
+/// JSON round trip for corpus files. Entries without faults serialize
+/// byte-identically to the original schema "coca-fuzz-v1"; entries with a
+/// FaultPlan use "coca-fuzz-v2" (adds a "faults" object). The reader
+/// accepts both (strict parse, throws Error on malformed input).
 std::string to_json(const CorpusEntry& entry);
 CorpusEntry corpus_entry_from_json(std::string_view json);
 
 /// Greedily minimizes `c` while `still_fails` holds: fewer corrupted
-/// parties, smaller n, shorter ell, fewer active operators, shallower
-/// delays -- to a fixpoint or `max_attempts` predicate evaluations.
+/// parties, fewer fault entries, smaller n, shorter ell, fewer active
+/// operators, shallower delays -- to a fixpoint or `max_attempts`
+/// predicate evaluations.
 using FailPredicate = std::function<bool(const FuzzCase&)>;
 FuzzCase shrink_case(FuzzCase c, const FailPredicate& still_fails,
                      std::size_t max_attempts = 64);
@@ -103,6 +122,10 @@ struct FuzzerOptions {
   std::vector<int> sizes = {4, 7};      // candidate n values
   int threads = 0;                      // ExecPolicy for every execution
   bool shrink = true;                   // minimize violations before report
+  /// When set, roughly half the drawn cases also carry a sampled
+  /// FaultPlan, with |corrupted| + |charged| kept <= t so every invariant
+  /// is still required to hold.
+  bool faults = false;
 };
 
 struct FuzzReport {

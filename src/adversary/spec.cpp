@@ -35,9 +35,21 @@ std::string_view to_string(Kind kind) {
 void install(net::SyncNetwork& net, int id, Kind kind,
              const ProtocolHooks& hooks) {
   switch (kind) {
-    case Kind::kSilent:
-      net.set_byzantine(id, std::make_shared<Silent>());
+    case Kind::kSilent: {
+      // Unified with the environment fault model: a silent party *is* a
+      // degenerate crash-stop at round 0. Installing it as a protocol
+      // runner that the FaultPlan kills before its first statement keeps
+      // the two "dead party" code paths from drifting (the adv::Silent
+      // strategy class remains for tests that script a strategy by hand).
+      // The runner needs some protocol body for the role slot; it never
+      // executes, sends nothing, and finishes at its first release.
+      net.set_byzantine_protocol(
+          id, hooks.low ? hooks.low : [](net::PartyContext&) {});
+      net::FaultPlan plan = net.fault_plan();
+      plan.crashes.push_back({id, /*from_round=*/0, net::kNoRecovery});
+      net.set_fault_plan(std::move(plan));
       return;
+    }
     case Kind::kGarbage:
       net.set_byzantine(id, std::make_shared<Garbage>());
       return;

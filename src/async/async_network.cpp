@@ -11,6 +11,8 @@ namespace coca::async {
 
 namespace {
 struct AbortSignal {};
+/// FaultPlan crash-stop unwind; like AbortSignal, uncatchable by design.
+struct CrashSignal {};
 }  // namespace
 
 struct AsyncNetwork::Impl {
@@ -25,6 +27,7 @@ struct AsyncNetwork::Impl {
     State state = State::Gated;       // guarded by mu
     bool go = false;                  // startup gate, guarded by mu
     bool done = false;                // output recorded, guarded by mu
+    bool crashed = false;             // FaultPlan crash-stop, guarded by mu
     std::exception_ptr error;         // guarded by mu
     std::deque<Envelope> inbox;       // guarded by mu
     std::condition_variable cv;       // wakes this process
@@ -50,6 +53,36 @@ struct AsyncNetwork::Impl {
   Scheduling policy = Scheduling::kFifo;
   net::ExecPolicy exec_policy;  // recorded for driver uniformity; see header
   Rng sched_rng{1};
+
+  // ---- Environment faults (windows in delivery steps); all guarded by mu.
+  net::FaultPlan plan;
+  net::FaultStats faults;
+  std::size_t deliveries = 0;        // scheduler steps so far
+  std::vector<char> crash_fired;     // parallel to plan.crashes
+  std::vector<char> crashed_by_id;   // by process id
+
+  /// Fires every crash-stop whose step window opened: the victim unwinds
+  /// with CrashSignal at its next receive (or its startup gate). Returns
+  /// true if anything newly fired (the scheduler then re-parks before the
+  /// next delivery decision). Caller holds mu.
+  bool fire_crashes() {
+    bool fired = false;
+    for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+      const net::FaultPlan::Crash& c = plan.crashes[i];
+      if (crash_fired[i] || deliveries < c.from_round) continue;
+      crash_fired[i] = 1;
+      fired = true;
+      ++faults.crashes_injected;
+      crashed_by_id[static_cast<std::size_t>(c.party)] = 1;
+      for (auto& p : processes) {
+        if (p->id == c.party) {
+          p->crashed = true;
+          p->cv.notify_all();
+        }
+      }
+    }
+    return fired;
+  }
 };
 
 AsyncNetwork::AsyncNetwork(int n, int t, Scheduling policy, std::uint64_t seed)
@@ -63,6 +96,18 @@ AsyncNetwork::AsyncNetwork(int n, int t, Scheduling policy, std::uint64_t seed)
 void AsyncNetwork::set_exec_policy(net::ExecPolicy policy) {
   require(policy.threads >= 0, "AsyncNetwork::set_exec_policy: bad threads");
   impl_->exec_policy = policy;
+}
+
+void AsyncNetwork::set_fault_plan(net::FaultPlan plan) {
+  plan.validate(n_);
+  for (const net::FaultPlan::Crash& c : plan.crashes) {
+    require(c.until_round == net::kNoRecovery,
+            "AsyncNetwork: crash-recovery is subsumed by message delay; "
+            "only crash-stop plans are supported here");
+  }
+  require(plan.shuffles.empty(),
+          "AsyncNetwork: inbox shuffles are subsumed by scheduling policies");
+  impl_->plan = std::move(plan);
 }
 
 AsyncNetwork::~AsyncNetwork() {
@@ -127,9 +172,17 @@ void AsyncNetwork::process_send(std::size_t index, int to,
                                 net::Payload payload) {
   require(to >= 0 && to < n_, "ProcessContext::send: bad recipient");
   Impl::Process& p = *impl_->processes[index];
-  p.bytes_sent += payload.size();
+  p.bytes_sent += payload.size();  // metered even if the network loses it
   p.messages_sent += 1;
   std::lock_guard lk(impl_->mu);
+  // Environment faults: traffic crossing a cut link (or sent by a process
+  // whose crash already fired) vanishes after metering.
+  if (!impl_->plan.empty() &&
+      (impl_->crashed_by_id[static_cast<std::size_t>(p.id)] ||
+       impl_->plan.link_cut(p.id, to, impl_->deliveries))) {
+    ++impl_->faults.messages_dropped;
+    return;
+  }
   impl_->in_flight.push_back(
       {impl_->next_seq++, p.id, to, std::move(payload)});
   // The scheduler only acts when everyone is parked; no wakeup needed here.
@@ -145,11 +198,15 @@ void AsyncNetwork::process_mark_done(std::size_t index) {
 Envelope AsyncNetwork::process_receive(std::size_t index) {
   Impl::Process& p = *impl_->processes[index];
   std::unique_lock lk(impl_->mu);
+  // A fired crash-stop takes effect at the victim's next scheduler
+  // interaction: this receive() unwinds it instead of delivering.
+  if (p.crashed) throw CrashSignal{};
   if (p.inbox.empty()) {
     p.state = Impl::Process::State::Waiting;
     impl_->cv_sched.notify_all();
-    p.cv.wait(lk, [&] { return !p.inbox.empty() || impl_->abort; });
+    p.cv.wait(lk, [&] { return !p.inbox.empty() || impl_->abort || p.crashed; });
     if (impl_->abort) throw AbortSignal{};
+    if (p.crashed) throw CrashSignal{};
     p.state = Impl::Process::State::Running;
   }
   Envelope e = std::move(p.inbox.front());
@@ -174,10 +231,15 @@ AsyncStats AsyncNetwork::run(std::size_t max_deliveries) {
           std::unique_lock lk(impl_->mu);
           p.cv.wait(lk, [&] { return p.go || impl_->abort; });
           if (impl_->abort) throw AbortSignal{};
+          // A crash whose window opens at step 0 fires before the gate:
+          // the process executes zero protocol statements.
+          if (p.crashed) throw CrashSignal{};
           p.state = Impl::Process::State::Running;
         }
         p.fn(*p.ctx);
       } catch (const AbortSignal&) {
+      } catch (const CrashSignal&) {
+        // FaultPlan crash-stop; not an error.
       } catch (...) {
         std::lock_guard lk(impl_->mu);
         p.error = std::current_exception();
@@ -188,11 +250,16 @@ AsyncStats AsyncNetwork::run(std::size_t max_deliveries) {
     });
   }
 
-  std::size_t deliveries = 0;
   std::exception_ptr failure;
   std::string failure_reason;
+  bool starved = false;
   {
     std::unique_lock lk(im.mu);
+    im.deliveries = 0;
+    im.faults = net::FaultStats{};
+    im.crash_fired.assign(im.plan.crashes.size(), 0);
+    im.crashed_by_id.assign(static_cast<std::size_t>(n_), 0);
+    im.fire_crashes();  // step-0 windows fire before the startup gates
     // Quiescent: every process either finished or blocked on an empty
     // inbox. Only then is the next delivery decision well-defined (a
     // process woken by a delivery is *not* quiescent until it consumed the
@@ -228,6 +295,9 @@ AsyncStats AsyncNetwork::run(std::size_t max_deliveries) {
         if (p->error && !failure) failure = p->error;
       }
       if (failure) break;
+      // Newly opened crash windows: let the victims unwind and re-park
+      // before the next delivery decision, so schedules stay canonical.
+      if (!im.plan.empty() && im.fire_crashes()) continue;
 
       // Termination keys on honest processes only: byzantine code may
       // legitimately block in receive() forever.
@@ -240,17 +310,30 @@ AsyncStats AsyncNetwork::run(std::size_t max_deliveries) {
         }
       }
       if (!honest_pending) break;  // every honest output is recorded
-      // Purge traffic addressed to finished processes.
+      // Purge traffic addressed to finished processes (counting what was
+      // headed to crash-stopped ones as fault drops).
       std::erase_if(im.in_flight, [&](const Impl::InFlight& m) {
-        return !live[static_cast<std::size_t>(m.to)];
+        const auto to = static_cast<std::size_t>(m.to);
+        if (live[to]) return false;
+        if (!im.plan.empty() && im.crashed_by_id[to]) {
+          ++im.faults.messages_dropped;
+        }
+        return true;
       });
       if (im.in_flight.empty()) {
+        if (!im.plan.empty()) {
+          // Fault-induced starvation (e.g. a permanent partition): dropped
+          // messages void the eventual-delivery premise of the deadlock
+          // detector, so this ends the run gracefully instead of throwing.
+          starved = true;
+          break;
+        }
         // Honest processes wait, nothing can ever be delivered again, and
         // no process can run to send more: a genuine protocol deadlock.
         failure_reason = "AsyncNetwork: deadlock (live processes starved)";
         break;
       }
-      if (deliveries >= max_deliveries) {
+      if (im.deliveries >= max_deliveries) {
         failure_reason = "AsyncNetwork: delivery limit exceeded";
         break;
       }
@@ -307,7 +390,7 @@ AsyncStats AsyncNetwork::run(std::size_t max_deliveries) {
           break;
         }
       }
-      ++deliveries;
+      ++im.deliveries;
     }
 
     // Unwind any still-blocked processes (byzantine waiters on the success
@@ -323,7 +406,9 @@ AsyncStats AsyncNetwork::run(std::size_t max_deliveries) {
   if (!failure_reason.empty()) throw Error(failure_reason);
 
   AsyncStats stats;
-  stats.deliveries = deliveries;
+  stats.deliveries = im.deliveries;
+  stats.faults = im.faults;
+  stats.starved = starved;
   stats.bytes_by_process.assign(static_cast<std::size_t>(n_), 0);
   for (const auto& p : im.processes) {
     stats.bytes_by_process[static_cast<std::size_t>(p->id)] += p->bytes_sent;

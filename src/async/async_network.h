@@ -30,6 +30,7 @@
 #include <memory>
 
 #include "net/exec_policy.h"
+#include "net/fault_plan.h"
 #include "net/payload.h"
 #include "util/common.h"
 #include "util/rng.h"
@@ -117,6 +118,14 @@ struct AsyncStats {
   std::uint64_t honest_messages = 0;
   std::vector<std::uint64_t> bytes_by_process;
 
+  /// Environment fault bookkeeping (zero when no FaultPlan is set).
+  net::FaultStats faults;
+  /// With a non-empty FaultPlan, a run where every live process is starved
+  /// (a fault-induced deadlock: e.g. a permanent partition) ends gracefully
+  /// with this flag instead of throwing -- dropped messages break the
+  /// eventual-delivery guarantee the deadlock detector assumes.
+  bool starved = false;
+
   std::uint64_t honest_bits() const { return honest_bytes * 8; }
 };
 
@@ -144,6 +153,16 @@ class AsyncNetwork {
   /// AsyncNetwork instances (e.g. bench sweeps) is the supported way to
   /// use extra cores.
   void set_exec_policy(net::ExecPolicy policy);
+
+  /// Installs a schedule of environment faults with windows measured in
+  /// scheduler *delivery steps* (the async notion of time). Only the fault
+  /// kinds that add adversarial power here are accepted: crash-stop (the
+  /// process unwinds at its next receive), directed link cuts and
+  /// partitions (messages crossing an active cut are dropped -- note this
+  /// deliberately breaks eventual delivery). Crash-recovery and inbox
+  /// permutation are rejected: both are already inside the asynchronous
+  /// scheduler's adversarial power (arbitrary delay, arbitrary order).
+  void set_fault_plan(net::FaultPlan plan);
 
   /// Runs until every process returned. Throws on deadlock, on a process
   /// exception, or past `max_deliveries`.

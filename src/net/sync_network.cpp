@@ -36,6 +36,21 @@ namespace {
 /// so protocol code cannot accidentally swallow it.
 struct AbortSignal {};
 
+/// Thrown into protocol code to unwind a runner when a FaultPlan crash-stop
+/// fires; like AbortSignal, outside every catchable hierarchy.
+struct CrashSignal {};
+
+/// Exception text for a recorded party error (RunReport evidence).
+std::string what_of(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "non-standard exception";
+  }
+}
+
 /// mmap-backed fiber stack with a PROT_NONE guard page at the low end, so
 /// a protocol overflowing its stack faults deterministically instead of
 /// corrupting a neighbouring fiber.
@@ -71,19 +86,19 @@ bool fibers_enabled() {
 }  // namespace
 
 std::vector<Envelope> first_per_sender(const std::vector<Envelope>& inbox) {
-  std::vector<Envelope> out;
-  out.reserve(inbox.size());
-  int last_from = -1;
-  for (const Envelope& e : inbox) {  // inbox is ordered by sender id
-    if (e.from != last_from) {
-      out.push_back(e);  // payload view copy: refcount bump, no byte copy
-      last_from = e.from;
-    }
-  }
-  return out;
+  // View copies only (refcount bumps); the rvalue overload does the work.
+  return first_per_sender(std::vector<Envelope>(inbox));
 }
 
 std::vector<Envelope> first_per_sender(std::vector<Envelope>&& inbox) {
+  // Canonicalize by sender id first: engine inboxes already arrive sorted
+  // (this is a no-op there), but a FaultPlan inbox shuffle -- or any other
+  // delivery-order adversary -- must not change what protocols consume.
+  // The stable sort keeps first-delivered-wins within a sender.
+  std::stable_sort(inbox.begin(), inbox.end(),
+                   [](const Envelope& a, const Envelope& b) {
+                     return a.from < b.from;
+                   });
   std::size_t kept = 0;
   int last_from = -1;
   for (Envelope& e : inbox) {
@@ -133,6 +148,13 @@ struct SyncNetwork::Runner {
   std::exception_ptr error;
   std::vector<Envelope> inbox_next;  // written by controller pre-release
 
+  // ---- FaultPlan plumbing. `crash_unwind` is set by the controller while
+  // the runner is parked; the runner observes it at its next release and
+  // unwinds with CrashSignal. `crashed_by_plan` / `decided` feed RunReport.
+  bool crash_unwind = false;
+  bool crashed_by_plan = false;
+  bool decided = false;  // protocol function returned normally
+
   // Runner-local staging and metrics: written only by the runner's own
   // execution context while Running, read by the controller only while the
   // runner is parked at the barrier or finished (the barrier mutex orders
@@ -180,6 +202,12 @@ struct SyncNetwork::Impl {
   std::vector<std::unique_ptr<Scripted>> scripted;
   std::vector<int> role_of_party;  // 0 = unset, 1 = honest, 2 = byzantine
 
+  // ---- Environment faults (empty plan = all of this is inert).
+  FaultPlan plan;
+  FaultStats faults;
+  std::vector<char> crash_started;    // parallel to plan.crashes
+  std::vector<char> crash_recovered;  // parallel to plan.crashes
+
   /// One delivered (from, to, payload-view) message on the wire.
   struct Triplet {
     int from;
@@ -214,6 +242,90 @@ struct SyncNetwork::Impl {
     scripted_msg_count.assign(scripted.size(), 0);
   }
 
+  /// Updates crash-window bookkeeping for slice `round` and marks runners
+  /// whose crash-stop fires: they are released once more and unwind with
+  /// CrashSignal. Runners inside a crash-recovery window are simply not
+  /// released this slice (see skip_this_slice); their parked stack is the
+  /// "persisted state" they resume from.
+  void begin_slice_faults(std::size_t round) {
+    if (plan.empty()) return;
+    for (std::size_t i = 0; i < plan.crashes.size(); ++i) {
+      const FaultPlan::Crash& c = plan.crashes[i];
+      if (!crash_started[i] && round >= c.from_round) {
+        crash_started[i] = 1;
+        ++faults.crashes_injected;
+      }
+      if (c.until_round != kNoRecovery && !crash_recovered[i] &&
+          round >= c.until_round) {
+        crash_recovered[i] = 1;
+        ++faults.recoveries;
+      }
+    }
+    for (auto& rp : runners) {
+      if (rp->state == Runner::State::Finished) continue;
+      if (plan.crash_stopped(rp->party, round)) {
+        rp->crash_unwind = true;
+      } else if (plan.crashed(rp->party, round)) {
+        ++faults.rounds_missed;  // frozen for this slice
+      }
+    }
+    for (auto& s : scripted) {
+      if (plan.crashed(s->party, round) &&
+          !plan.crash_stopped(s->party, round)) {
+        ++faults.rounds_missed;
+      }
+    }
+  }
+
+  /// True iff `r` sits in a crash-recovery window at `round` and must not
+  /// be released this slice. Crash-stop victims are *not* skipped: they get
+  /// released exactly once more so their stack unwinds.
+  bool skip_this_slice(const Runner& r, std::size_t round) const {
+    return !r.crash_unwind && !plan.empty() && plan.crashed(r.party, round);
+  }
+
+  /// Removes cut/partitioned traffic from `v` (metering already happened:
+  /// the sender pays for bytes the network loses).
+  void filter_cut_links(std::vector<Triplet>& v, std::size_t round) {
+    if (plan.cuts.empty() && plan.partitions.empty()) return;
+    const auto cut = [&](const Triplet& m) {
+      return plan.link_cut(m.from, m.to, round);
+    };
+    const auto first = std::remove_if(v.begin(), v.end(), cut);
+    faults.messages_dropped +=
+        static_cast<std::uint64_t>(std::distance(first, v.end()));
+    v.erase(first, v.end());
+  }
+
+  /// Permutes the freshly routed inboxes of shuffle-covered recipients with
+  /// a per-(seed, party, round) stream: deterministic, independent of the
+  /// ExecPolicy, identical for both halves of a split-brain party.
+  void apply_shuffles(std::size_t round) {
+    if (plan.shuffles.empty()) return;
+    const auto permute = [&](std::vector<Envelope>& inbox, int party,
+                             std::uint64_t seed) {
+      if (inbox.size() < 2) return;
+      Rng rng(Rng::derive_stream_seed(
+          kShuffleSeedDomain ^ seed,
+          (static_cast<std::uint64_t>(round) << 16) |
+              static_cast<std::uint64_t>(party)));
+      for (std::size_t i = inbox.size() - 1; i > 0; --i) {
+        std::swap(inbox[i], inbox[rng.below(i + 1)]);
+      }
+      ++faults.inboxes_shuffled;
+    };
+    for (auto& r : runners) {
+      if (const auto seed = plan.shuffle_seed(r->party)) {
+        permute(r->inbox_next, r->party, *seed);
+      }
+    }
+    for (auto& s : scripted) {
+      if (const auto seed = plan.shuffle_seed(s->party)) {
+        permute(s->inbox_next, s->party, *seed);
+      }
+    }
+  }
+
   /// Drains all staged outboxes into `wire` as (from, to, payload) triplets
   /// in canonical order -- runner-table order, send order within a runner --
   /// and sums the bytes honest runners staged. Payloads move; no copies.
@@ -234,6 +346,10 @@ struct SyncNetwork::Impl {
   void deliver_round(std::size_t round) {
     std::uint64_t round_honest_bytes = 0;
     drain_outboxes(&round_honest_bytes);
+    // Environment link faults sit *below* the adversary: cut traffic
+    // vanishes before the rushing adversary observes the round and before
+    // the transcript records it.
+    filter_cut_links(wire, round);
     honest_traffic.clear();
     for (const Triplet& m : wire) {
       honest_traffic.push_back({m.from, m.to, &m.payload});
@@ -243,6 +359,8 @@ struct SyncNetwork::Impl {
     // which must stay unmodified while strategies run.
     byz_wire.clear();
     for (auto& s : scripted) {
+      // A crashed scripted party sends nothing this round.
+      if (!plan.empty() && plan.crashed(s->party, round)) continue;
       RoundView view;
       view.round = round;
       view.self = s->party;
@@ -258,6 +376,7 @@ struct SyncNetwork::Impl {
         byz_wire.push_back({s->party, to, Payload(std::move(payload))});
       });
     }
+    filter_cut_links(byz_wire, round);
     for (auto& m : byz_wire) wire.push_back(std::move(m));
     byz_wire.clear();
 
@@ -302,7 +421,16 @@ struct SyncNetwork::Impl {
       for (const std::size_t i : scripted_of_party[to]) {
         scripted[i]->inbox_next.push_back({m.from, m.payload});
       }
+      // A recipient inside a crash window when this delivery would be
+      // consumed (slice round+1) never sees it: a frozen runner's
+      // inbox_next is overwritten by later rounds, a crash-stopped one is
+      // gone. The message stays in the transcript (the network delivered
+      // it; the party was dead) -- only the counter records the loss.
+      if (!plan.empty() && plan.crashed(m.to, round + 1)) {
+        ++faults.messages_dropped;
+      }
     }
+    if (!plan.empty()) apply_shuffles(round);
     for (auto& s : scripted) {
       std::swap(s->inbox, s->inbox_next);
       s->inbox_next.clear();
@@ -312,10 +440,11 @@ struct SyncNetwork::Impl {
 
   /// Drains leftover sends (staged after a party's last advance()) into a
   /// trailing transcript round so per-round bytes sum to the run totals.
-  void record_leftovers() {
+  void record_leftovers(std::size_t round) {
     if (transcript == nullptr) return;
     std::uint64_t leftover_honest_bytes = 0;
     drain_outboxes(&leftover_honest_bytes);
+    filter_cut_links(wire, round);
     if (wire.empty()) return;
     std::stable_sort(wire.begin(), wire.end(),
                      [](const Triplet& a, const Triplet& b) {
@@ -334,14 +463,17 @@ struct SyncNetwork::Impl {
 
   /// Releases every non-finished runner for one round slice, at most
   /// `window` concurrently, in canonical runner-table order, and waits
-  /// until all of them are parked again (or finished). Returns false on
-  /// watchdog timeout. Caller holds `lk`. (OS-thread backend.)
-  bool run_wave(std::unique_lock<std::mutex>& lk, std::size_t window) {
+  /// until all of them are parked again (or finished). Runners frozen by a
+  /// crash-recovery window are skipped. Returns false on watchdog timeout.
+  /// Caller holds `lk`. (OS-thread backend.)
+  bool run_wave(std::unique_lock<std::mutex>& lk, std::size_t window,
+                std::size_t round) {
     std::size_t next = 0;
     for (;;) {
       while (in_flight < window && next < runners.size()) {
         Runner& r = *runners[next++];
         if (r.state == Runner::State::Finished) continue;
+        if (skip_this_slice(r, round)) continue;
         r.go = true;
         r.in_flight = true;
         ++in_flight;
@@ -365,9 +497,16 @@ void SyncNetwork::Runner::fiber_trampoline(unsigned hi, unsigned lo) {
                                       static_cast<std::uintptr_t>(lo));
   try {
     r->state = State::Running;
+    // A fiber first swapped in during an abort unwind, or with a round-0
+    // crash-stop pending, runs zero protocol statements.
+    if (r->impl->abort) throw AbortSignal{};
+    if (r->crash_unwind) throw CrashSignal{};
     r->fn(*r->ctx);
+    r->decided = true;
   } catch (const AbortSignal&) {
     // Controller-initiated unwind; not an error.
+  } catch (const CrashSignal&) {
+    r->crashed_by_plan = true;  // FaultPlan crash-stop; not an error.
   } catch (...) {
     r->error = std::current_exception();
   }
@@ -500,6 +639,13 @@ void SyncNetwork::set_transcript(Transcript* sink) {
   impl_->transcript = sink;
 }
 
+void SyncNetwork::set_fault_plan(FaultPlan plan) {
+  plan.validate(n_);
+  impl_->plan = std::move(plan);
+}
+
+const FaultPlan& SyncNetwork::fault_plan() const { return impl_->plan; }
+
 void SyncNetwork::runner_send(std::size_t runner_index, int to,
                               Payload payload) {
   Runner& r = *impl_->runners[runner_index];
@@ -548,6 +694,7 @@ std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
     r.state = Runner::State::AtBarrier;
     swapcontext(&r.fiber_ctx, &impl_->controller_ctx);
     if (impl_->abort) throw AbortSignal{};
+    if (r.crash_unwind) throw CrashSignal{};
     r.state = Runner::State::Running;
     inbox = std::exchange(r.inbox_next, {});
   } else {
@@ -560,6 +707,7 @@ std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
     impl_->cv_ctrl.notify_one();
     r.cv.wait(lk, [&] { return r.go || impl_->abort; });
     if (impl_->abort) throw AbortSignal{};
+    if (r.crash_unwind) throw CrashSignal{};
     r.go = false;
     r.state = Runner::State::Running;
     inbox = std::exchange(r.inbox_next, {});
@@ -577,6 +725,24 @@ std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
 }
 
 RunStats SyncNetwork::run(std::size_t max_rounds) {
+  std::exception_ptr first_error;
+  std::string failure_reason;
+  RunReport rep = run_impl(max_rounds, /*guarded=*/false, &first_error,
+                           &failure_reason);
+  if (first_error) std::rethrow_exception(first_error);
+  if (!failure_reason.empty()) throw Error(failure_reason);
+  return std::move(rep.stats);
+}
+
+RunReport SyncNetwork::run_report(std::size_t max_rounds) {
+  std::exception_ptr first_error;
+  std::string failure_reason;
+  return run_impl(max_rounds, /*guarded=*/true, &first_error, &failure_reason);
+}
+
+RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
+                                std::exception_ptr* first_error,
+                                std::string* failure_reason) {
   Impl& im = *impl_;
   for (int p = 0; p < n_; ++p) {
     require(im.role_of_party[p] != 0,
@@ -587,12 +753,16 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
   im.fibers = window == 1 && fibers_enabled();
   if (im.transcript) im.transcript->rounds.clear();
   im.build_routing_index();
+  im.faults = FaultStats{};
+  im.crash_started.assign(im.plan.crashes.size(), 0);
+  im.crash_recovered.assign(im.plan.crashes.size(), 0);
   const std::uint64_t copies_before = PayloadMetrics::copies();
   const std::uint64_t bytes_copied_before = PayloadMetrics::bytes_copied();
 
   std::size_t rounds = 0;
   std::exception_ptr failure;
-  std::string failure_reason;
+  bool timed_out = false;
+  bool watchdog_fired = false;
 
   if (im.fibers) {
     // ---- Fiber backend: every runner is a cooperative fiber; the
@@ -617,23 +787,30 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
       });
     };
     for (;;) {
+      im.begin_slice_faults(rounds);
       for (auto& rp : im.runners) {
         if (rp->state == Runner::State::Finished) continue;
+        if (im.skip_this_slice(*rp, rounds)) continue;
         swapcontext(&im.controller_ctx, &rp->fiber_ctx);
       }
-      for (auto& r : im.runners) {
-        if (r->error && !failure) failure = r->error;
+      // Guarded mode is the exception barrier: a throwing party is already
+      // parked as Finished-with-error and the run simply continues without
+      // it. Legacy mode aborts the whole run on the first error.
+      if (!guarded) {
+        for (auto& r : im.runners) {
+          if (r->error && !failure) failure = r->error;
+        }
+        if (failure) break;
       }
-      if (failure) break;
       if (all_finished()) break;
       if (rounds >= max_rounds) {
-        failure_reason = "SyncNetwork: max round count exceeded";
+        timed_out = true;
         break;
       }
       im.deliver_round(rounds);
       ++rounds;
     }
-    if (failure || !failure_reason.empty()) {
+    if (failure || timed_out) {
       // Unwind every parked fiber so protocol stack frames run their
       // destructors before the stacks are freed.
       im.abort = true;
@@ -644,7 +821,7 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
       }
       im.abort = false;
     } else {
-      im.record_leftovers();
+      im.record_leftovers(rounds);
     }
     for (auto& rp : im.runners) rp->fiber_stack.reset();
   } else {
@@ -659,12 +836,17 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
             std::unique_lock lk(impl_->mu);
             r.cv.wait(lk, [&] { return r.go || impl_->abort; });
             if (impl_->abort) throw AbortSignal{};
+            if (r.crash_unwind) throw CrashSignal{};
             r.go = false;
             r.state = Runner::State::Running;
           }
           r.fn(*r.ctx);
+          r.decided = true;
         } catch (const AbortSignal&) {
           // Controller-initiated unwind; not an error.
+        } catch (const CrashSignal&) {
+          std::lock_guard lk(impl_->mu);
+          r.crashed_by_plan = true;  // FaultPlan crash-stop; not an error.
         } catch (...) {
           std::lock_guard lk(impl_->mu);
           r.error = std::current_exception();
@@ -687,17 +869,21 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
         });
       };
       for (;;) {
-        if (!im.run_wave(lk, window)) {
-          failure_reason = "SyncNetwork: round stalled (watchdog)";
+        im.begin_slice_faults(rounds);
+        if (!im.run_wave(lk, window, rounds)) {
+          timed_out = true;
+          watchdog_fired = true;
           break;
         }
-        for (auto& r : im.runners) {
-          if (r->error && !failure) failure = r->error;
+        if (!guarded) {
+          for (auto& r : im.runners) {
+            if (r->error && !failure) failure = r->error;
+          }
+          if (failure) break;
         }
-        if (failure) break;
         if (all_finished()) break;
         if (rounds >= max_rounds) {
-          failure_reason = "SyncNetwork: max round count exceeded";
+          timed_out = true;
           break;
         }
         // All runners are parked; deliver one round.
@@ -705,11 +891,11 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
         ++rounds;
       }
 
-      if (failure || !failure_reason.empty()) {
+      if (failure || timed_out) {
         im.abort = true;
         for (auto& r : im.runners) r->cv.notify_one();
       } else {
-        im.record_leftovers();
+        im.record_leftovers(rounds);
       }
     }
 
@@ -718,11 +904,20 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
     }
   }
 
-  if (failure) std::rethrow_exception(failure);
-  if (!failure_reason.empty()) throw Error(failure_reason.c_str());
+  // Legacy (non-guarded) failure plumbing: the caller rethrows.
+  *first_error = failure;
+  if (!guarded && timed_out) {
+    *failure_reason = watchdog_fired
+                          ? "SyncNetwork: round stalled (watchdog)"
+                          : "SyncNetwork: max round count exceeded";
+  }
 
-  RunStats stats;
+  RunReport rep;
+  rep.timed_out = timed_out;
+  rep.watchdog_fired = watchdog_fired;
+  RunStats& stats = rep.stats;
   stats.rounds = rounds;
+  stats.faults = im.faults;
   stats.payload_copies = PayloadMetrics::copies() - copies_before;
   stats.payload_bytes_copied =
       PayloadMetrics::bytes_copied() - bytes_copied_before;
@@ -740,7 +935,32 @@ RunStats SyncNetwork::run(std::size_t max_rounds) {
   for (const auto& s : im.scripted) {
     stats.bytes_by_party[static_cast<std::size_t>(s->party)] += s->bytes_sent;
   }
-  return stats;
+
+  // Per-party outcomes, worst over a party's runners (split-brain owns two).
+  rep.outcomes.assign(static_cast<std::size_t>(n_), PartyOutcome{});
+  const auto note = [&](int party, Outcome o, std::string ev) {
+    PartyOutcome& po = rep.outcomes[static_cast<std::size_t>(party)];
+    if (static_cast<int>(o) > static_cast<int>(po.outcome)) {
+      po.outcome = o;
+      po.evidence = std::move(ev);
+    }
+  };
+  for (const auto& r : im.runners) {
+    if (r->error) {
+      note(r->party, Outcome::kAborted, what_of(r->error));
+    } else if (r->crashed_by_plan) {
+      note(r->party, Outcome::kCrashed, "fault-plan crash-stop");
+    } else if (!r->decided) {
+      note(r->party, Outcome::kTimedOut,
+           "still running after round " + std::to_string(rounds));
+    }
+  }
+  for (const auto& s : im.scripted) {
+    if (!im.plan.empty() && im.plan.crash_stopped(s->party, rounds)) {
+      note(s->party, Outcome::kCrashed, "fault-plan crash-stop");
+    }
+  }
+  return rep;
 }
 
 }  // namespace coca::net

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "net/exec_policy.h"
+#include "net/fault_plan.h"
 #include "net/payload.h"
 #include "util/common.h"
 #include "util/rng.h"
@@ -101,11 +102,14 @@ struct Transcript {
   bool operator==(const Transcript&) const = default;
 };
 
-/// Keeps the first message of each sender, in sender-id order. Protocol
-/// steps of the paper implicitly assume one message per sender per round;
-/// duplicates are a byzantine artefact and are ignored deterministically.
-/// Copies are payload views (refcount bumps), never byte copies; the
-/// rvalue overload filters the inbox in place.
+/// Keeps the first *delivered* message of each sender, in sender-id order.
+/// Protocol steps of the paper implicitly assume one message per sender per
+/// round; duplicates are a byzantine artefact and are ignored
+/// deterministically. The result is canonical regardless of inbox order --
+/// the inbox is stably sorted by sender id first -- so protocols built on
+/// this helper are delivery-order insensitive by construction (which a
+/// FaultPlan inbox shuffle relies on). Copies are payload views (refcount
+/// bumps), never byte copies; the rvalue overload filters in place.
 std::vector<Envelope> first_per_sender(const std::vector<Envelope>& inbox);
 std::vector<Envelope> first_per_sender(std::vector<Envelope>&& inbox);
 
@@ -248,6 +252,26 @@ struct RunStats {
 
   /// The paper's BITS_l measure: total bits sent by honest parties.
   std::uint64_t honest_bits() const { return honest_bytes * 8; }
+
+  /// Environment fault bookkeeping (all zero when no FaultPlan is set).
+  FaultStats faults;
+};
+
+/// Structured result of a guarded run (`run_report`): per-party outcomes
+/// instead of hang-or-throw. `stats.rounds` is always the last *completed*
+/// round, including when the round cap or watchdog ended the run.
+struct RunReport {
+  RunStats stats;
+  std::vector<PartyOutcome> outcomes;  // indexed by party id
+  bool timed_out = false;        // round cap (or watchdog) ended the run
+  bool watchdog_fired = false;   // a round slice stalled past the watchdog
+
+  bool all_decided() const {
+    for (const PartyOutcome& o : outcomes) {
+      if (o.outcome != Outcome::kDecided) return false;
+    }
+    return true;
+  }
 };
 
 class SyncNetwork {
@@ -280,13 +304,30 @@ class SyncNetwork {
   /// COCA_THREADS or serial). Must be called before run().
   void set_exec_policy(ExecPolicy policy);
 
+  /// Installs a schedule of environment faults (see net/fault_plan.h);
+  /// validated against n. The plan is interpreted identically under every
+  /// ExecPolicy, so faulty runs replay bit-for-bit. An empty plan (the
+  /// default) leaves every code path and metric untouched.
+  void set_fault_plan(FaultPlan plan);
+  const FaultPlan& fault_plan() const;
+
   /// Records every delivered round into `sink` during run(); pass nullptr
   /// to disable. The sink must outlive run().
   void set_transcript(Transcript* sink);
 
   /// Runs to completion (all protocol-running parties returned).
   /// Throws if any honest party threw, or if `max_rounds` is exceeded.
+  /// (Legacy strict mode: the first party error aborts the whole run.
+  /// Prefer `run_report` for fault-tolerant execution.)
   RunStats run(std::size_t max_rounds = kDefaultMaxRounds);
+
+  /// Guarded run: every party step executes behind an exception barrier. A
+  /// throwing party is marked `AbortedWithEvidence` (the run continues
+  /// without it), a FaultPlan crash-stop marks it `Crashed`, hitting
+  /// `max_rounds` or the watchdog marks the stragglers `TimedOut` -- the
+  /// report always comes back with the last completed round in
+  /// `stats.rounds`; nothing short of a simulator bug throws.
+  RunReport run_report(std::size_t max_rounds = kDefaultMaxRounds);
 
   static constexpr std::size_t kDefaultMaxRounds = 2'000'000;
 
@@ -298,6 +339,10 @@ class SyncNetwork {
   struct Runner;
   struct Scripted;
   struct Impl;
+
+  RunReport run_impl(std::size_t max_rounds, bool guarded,
+                     std::exception_ptr* first_error,
+                     std::string* failure_reason);
 
   void runner_send(std::size_t runner_index, int to, Payload payload);
   void runner_stage(std::size_t runner_index, int to, Payload payload);

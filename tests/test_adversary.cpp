@@ -175,6 +175,62 @@ TEST(Installer, TaxonomyStaysInSync) {
   EXPECT_THROW(install(net, 3, past_end, hooks), Error);
 }
 
+// kSilent is unified with the environment fault model: installing it must
+// register a round-0 crash-stop in the network's FaultPlan rather than a
+// scripted strategy.
+TEST(Installer, SilentInstallsARoundZeroCrashStop) {
+  net::SyncNetwork net(4, 1);
+  install(net, 2, Kind::kSilent, ProtocolHooks{});
+  ASSERT_EQ(net.fault_plan().crashes.size(), 1u);
+  const auto& crash = net.fault_plan().crashes.front();
+  EXPECT_EQ(crash.party, 2);
+  EXPECT_EQ(crash.from_round, 0u);
+  EXPECT_EQ(crash.until_round, net::kNoRecovery);
+}
+
+// ... and the two "dead party" code paths must not drift: a fault-plan
+// crash at round 0 is observably identical to the scripted Silent strategy
+// -- same delivered messages, same round count, same honest cost.
+TEST(Installer, SilentMatchesScriptedSilentBitForBit) {
+  struct Probe {
+    std::vector<std::pair<int, Bytes>> received;  // party 0's full inbox
+    net::RunStats stats;
+  };
+  const auto run_probe = [](bool scripted) {
+    net::SyncNetwork net(4, 1);
+    if (scripted) {
+      net.set_byzantine(3, std::make_shared<Silent>());
+    } else {
+      install(net, 3, Kind::kSilent, ProtocolHooks{});
+    }
+    Probe probe;
+    for (int id = 0; id < 3; ++id) {
+      net.set_honest(id, [id, &probe](net::PartyContext& ctx) {
+        for (int r = 0; r < 6; ++r) {
+          ctx.send_all(Bytes{static_cast<std::uint8_t>(id),
+                             static_cast<std::uint8_t>(r)});
+          for (const auto& e : ctx.advance()) {
+            if (id == 0) probe.received.emplace_back(e.from, e.payload);
+          }
+        }
+      });
+    }
+    probe.stats = net.run();
+    return probe;
+  };
+  const Probe scripted = run_probe(true);
+  const Probe installed = run_probe(false);
+  EXPECT_FALSE(scripted.received.empty());
+  EXPECT_EQ(scripted.received, installed.received);
+  EXPECT_EQ(scripted.stats.rounds, installed.stats.rounds);
+  EXPECT_EQ(scripted.stats.honest_bytes, installed.stats.honest_bytes);
+  EXPECT_EQ(scripted.stats.honest_messages, installed.stats.honest_messages);
+  // Only the fault bookkeeping may differ: the installed flavour is an
+  // injected crash, the scripted flavour is a byzantine strategy.
+  EXPECT_EQ(installed.stats.faults.crashes_injected, 1u);
+  EXPECT_EQ(scripted.stats.faults.crashes_injected, 0u);
+}
+
 TEST(Strategies, ChaosIsSeedDeterministicAndVaried) {
   const auto a = probe_strategy(std::make_shared<Chaos>(42), 8);
   const auto b = probe_strategy(std::make_shared<Chaos>(42), 8);

@@ -9,8 +9,12 @@
 //
 // The matrix is pinned (protocol, n, ell, threads, seed) so runs are
 // comparable across commits; every entry reports wall-clock seconds,
-// honest_bits, rounds, and payload_copies. The JSON schema is versioned
-// ("coca-bench-v1") so downstream tooling can detect shape changes.
+// honest_bits, rounds, and payload_copies. Full runs additionally sweep a
+// fault matrix -- one crash-recovery configuration at f = t per protocol
+// target -- emitted as a separate "fault_entries" array so the honest
+// "entries" array stays byte-comparable against pre-fault baselines. The
+// JSON schema is versioned ("coca-bench-v1") so downstream tooling can
+// detect shape changes.
 //
 // Exit status: 0 = success, 1 = a run failed agreement or a smoke invariant
 // (honest broadcast must perform zero deep payload copies), 2 = usage error.
@@ -23,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "adversary/degradation.h"
+#include "adversary/fuzzer.h"
 #include "ca/broadcast_ca.h"
 #include "ca/driver.h"
 #include "net/sync_network.h"
@@ -90,6 +96,65 @@ std::vector<Entry> full_matrix() {
 std::vector<Entry> smoke_matrix() {
   return {{"smoke", "PiZ", 13, std::size_t{1} << 14, adv::Kind::kGarbage,
            2000 + (std::size_t{1} << 14)}};
+}
+
+/// The fault matrix: one benign-fault configuration per protocol target,
+/// crash-recovery at the full charge budget f = t. These rows land in a
+/// separate "fault_entries" JSON array (the honest "entries" array stays
+/// byte-comparable against pre-fault baselines) so BENCH_*.json tracks
+/// honest-bits/rounds stability under environment faults across commits.
+struct FaultEntry {
+  std::string protocol;
+  int n;
+  std::size_t ell;
+  std::uint64_t seed;
+};
+
+std::vector<FaultEntry> fault_matrix() {
+  std::vector<FaultEntry> m;
+  for (const std::string& protocol : adv::known_protocols()) {
+    m.push_back({protocol, 7, 256, 0xFA170000 + m.size()});
+  }
+  return m;
+}
+
+struct FaultResult {
+  FaultEntry entry;
+  double seconds = 0;
+  std::uint64_t honest_bits = 0;
+  std::size_t rounds = 0;
+};
+
+/// Runs one fault-matrix entry best-of-`reps` through the guarded engine;
+/// throws if any oracle invariant breaks (f = t is within the covered
+/// regime, so every guarantee is owed).
+FaultResult run_fault_entry(const FaultEntry& e, int reps) {
+  adv::FuzzCase c;
+  c.protocol = e.protocol;
+  c.n = e.n;
+  c.t = max_t(e.n);
+  c.ell = e.ell;
+  c.input_seed = e.seed;
+  c.threads = 1;
+  c.faults =
+      adv::degradation_plan(adv::FaultKind::kCrashRecovery, c.t, c.n);
+  FaultResult out{e};
+  out.seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const adv::FuzzOutcome r = adv::execute_case(c);
+    const auto stop = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(stop - start).count();
+    if (s < out.seconds) out.seconds = s;
+    if (!r.verdict.ok()) {
+      throw Error("bench_runner: " + e.protocol +
+                  " violated an invariant under crash-recovery at f=t: " +
+                  r.verdict.violations.front());
+    }
+    out.honest_bits = r.stats.honest_bits();
+    out.rounds = r.stats.rounds;
+  }
+  return out;
 }
 
 struct Result {
@@ -165,6 +230,7 @@ bool zero_copy_probe(std::string* detail) {
 }
 
 void write_json(std::ostream& os, const std::vector<Result>& results,
+                const std::vector<FaultResult>& fault_results,
                 const std::string& baseline_text, bool smoke) {
   os << "{\n";
   os << "  \"schema\": \"coca-bench-v1\",\n";
@@ -187,6 +253,26 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
     os << buf;
   }
   os << "  ]";
+  if (!fault_results.empty()) {
+    os << ",\n  \"fault_entries\": [\n";
+    for (std::size_t i = 0; i < fault_results.size(); ++i) {
+      const FaultResult& r = fault_results[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"bench\": \"fault_recovery\", \"protocol\": \"%s\", "
+          "\"n\": %d, \"t\": %d, \"ell_bits\": %zu, "
+          "\"fault\": \"crash-recovery\", \"f\": %d, \"threads\": 1, "
+          "\"seed\": %llu, \"seconds\": %.6f, \"honest_bits\": %llu, "
+          "\"rounds\": %zu}%s",
+          r.entry.protocol.c_str(), r.entry.n, max_t(r.entry.n), r.entry.ell,
+          max_t(r.entry.n), static_cast<unsigned long long>(r.entry.seed),
+          r.seconds, static_cast<unsigned long long>(r.honest_bits), r.rounds,
+          i + 1 < fault_results.size() ? ",\n" : "\n");
+      os << buf;
+    }
+    os << "  ]";
+  }
   if (!baseline_text.empty()) {
     os << ",\n  \"baseline\": " << baseline_text;
   }
@@ -262,15 +348,32 @@ int main(int argc, char** argv) {
               << r.payload_copies << " payload copies\n";
   }
 
+  std::vector<FaultResult> fault_results;
+  if (!smoke) {
+    for (const FaultEntry& e : fault_matrix()) {
+      try {
+        fault_results.push_back(run_fault_entry(e, reps));
+      } catch (const std::exception& ex) {
+        std::cerr << "bench_runner: " << ex.what() << "\n";
+        return 1;
+      }
+      const FaultResult& r = fault_results.back();
+      std::cerr << "fault_recovery " << r.entry.protocol << " n=" << r.entry.n
+                << " f=t=" << max_t(r.entry.n) << ": " << r.seconds << "s, "
+                << r.honest_bits << " honest bits, " << r.rounds
+                << " rounds\n";
+    }
+  }
+
   if (out_path.empty()) {
-    write_json(std::cout, results, baseline_text, smoke);
+    write_json(std::cout, results, fault_results, baseline_text, smoke);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "bench_runner: cannot write " << out_path << "\n";
       return 1;
     }
-    write_json(out, results, baseline_text, smoke);
+    write_json(out, results, fault_results, baseline_text, smoke);
   }
   return status;
 }

@@ -32,6 +32,9 @@ using coca::adv::FuzzerOptions;
       "  --n N1,N2,...        network sizes to draw from (default 4,7)\n"
       "  --seed S             search-stream seed (default 1)\n"
       "  --threads K          ExecPolicy window for every run (default 0 = auto)\n"
+      "  --faults             also draw environment fault plans (crashes,\n"
+      "                       link cuts, partitions, shuffles) as a search\n"
+      "                       dimension, keeping |corrupted|+|charged| <= t\n"
       "  --no-shrink          report violations without minimizing them\n"
       "  --corpus-out DIR     write each minimized violation to DIR/*.json\n"
       "  --replay FILE        re-execute one corpus entry instead of searching\n"
@@ -110,6 +113,8 @@ int main(int argc, char** argv) {
       } else if (arg == "--threads") {
         options.threads = std::stoi(arg_value(argc, argv, i, arg));
         has_threads = true;
+      } else if (arg == "--faults") {
+        options.faults = true;
       } else if (arg == "--no-shrink") {
         options.shrink = false;
       } else if (arg == "--corpus-out") {
