@@ -4,7 +4,14 @@
 // the Pi_lBA+ invocations) carries essentially all of the l-dependent
 // cost; AddLastBit/AddLastBlock and GetOutput stay O(poly(n)) regardless of
 // l; the distributing step inside Pi_lBA+ accounts for the O(l n) term.
+//
+// Attribution comes from the observability layer: each run carries an
+// obs::Tracer in canonical (timing-free) mode, the inclusive per-phase
+// numbers are read off the phase span tree, and the leaf breakdown
+// (RunStats::phase_breakdown) is checked to sum exactly to honest_bits --
+// so the table cannot silently drift from what the engine metered.
 #include "bench_support.h"
+#include "obs/obs.h"
 
 int main(int argc, char** argv) {
   coca::bench::parse_args(argc, argv);
@@ -21,16 +28,29 @@ int main(int argc, char** argv) {
                 "total", "prefix-search", "lBA+ total", "lBA+ distrib",
                 "last-unit", "GetOutput");
     for (const std::size_t ell : {1u << 10, 1u << 13, 1u << 16, 1u << 18}) {
+      obs::Tracer tracer(obs::Tracer::Options{/*timing=*/false});
       ca::SimConfig cfg;
       cfg.n = n;
       cfg.t = t;
       cfg.inputs = make_inputs(ell);
+      cfg.tracer = &tracer;
       const ca::SimResult r = ca::run_simulation(pi_z, cfg);
-      const auto& phases = r.stats.honest_bytes_by_phase;
+      // Inclusive per-phase bytes off the span tree; identical to the
+      // legacy RunStats::honest_bytes_by_phase accounting.
+      const auto phases = tracer.inclusive_bytes_by_name();
       const auto get = [&](const char* key) -> std::uint64_t {
         const auto it = phases.find(key);
         return it == phases.end() ? 0 : it->second * 8;
       };
+      // Exactness check on the leaf attribution: every honest byte lands
+      // in exactly one leaf phase.
+      std::uint64_t leaf_sum = 0;
+      for (const auto& [phase, bytes] : r.stats.phase_breakdown) {
+        leaf_sum += bytes;
+      }
+      ensure(leaf_sum == r.stats.honest_bytes,
+             "bench_breakdown: leaf phase_breakdown does not sum to "
+             "honest_bytes");
       const std::uint64_t search =
           get("FindPrefix") + get("FindPrefixBlocks");
       const std::uint64_t last_unit =

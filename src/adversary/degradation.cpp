@@ -112,6 +112,11 @@ DegradationRow run_cell(const DegradationConfig& cfg, int t,
     row.honest_bits = out.stats.honest_bits();
     for (const net::PartyOutcome& o : out.outcomes) {
       ++row.outcome_counts[net::to_string(o.outcome)];
+      if (o.outcome != net::Outcome::kDecided) {
+        const std::string phase = o.phase.empty() ? "(none)" : o.phase;
+        ++row.outcome_phases[std::string(net::to_string(o.outcome)) + "@" +
+                             phase];
+      }
     }
   } catch (const std::exception& e) {
     row.graceful = false;
@@ -223,6 +228,14 @@ std::string degradation_json(const DegradationReport& report) {
     bool first = true;
     for (const auto& [name, count] : row.outcome_counts) {
       os << (first ? "" : ", ") << "\"" << name << "\": " << count;
+      first = false;
+    }
+    os << "}, \"outcome_phases\": {";
+    first = true;
+    for (const auto& [name, count] : row.outcome_phases) {
+      os << (first ? "" : ", ") << "\"";
+      json_escape(os, name);
+      os << "\": " << count;
       first = false;
     }
     os << "}, \"violations\": [";

@@ -72,6 +72,10 @@ struct DegradationRow {
   std::uint64_t honest_bits = 0;
   std::vector<std::string> violations;          // when !invariants_held
   std::map<std::string, int> outcome_counts;    // Outcome name -> #parties
+  /// Where the non-Decided outcomes landed: "<Outcome>@<phase stack>" ->
+  /// #parties (phase "(none)" when the party never entered a phase, e.g.
+  /// crashed before its first protocol step).
+  std::map<std::string, int> outcome_phases;
 
   /// The cell's pass criterion: graceful always; invariants when required.
   bool passed() const {

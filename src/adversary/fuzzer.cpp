@@ -26,8 +26,8 @@ void validate_case(const FuzzCase& c) {
   require(c.n >= 4, "FuzzCase: need n >= 4");
   require(c.t >= 1 && 3 * c.t < c.n, "FuzzCase: need 1 <= t < n/3");
   require(c.ell >= 1, "FuzzCase: need ell >= 1");
-  require(!c.corrupted.empty() || !c.faults.empty(),
-          "FuzzCase: need corrupted parties or a fault plan");
+  // A case with no corrupted parties and no fault plan is a plain honest
+  // run: still useful (trace collection, oracle self-checks), so allowed.
   require(c.corrupted.size() <= static_cast<std::size_t>(c.t),
           "FuzzCase: need |corrupted| <= t");
   std::set<int> seen;
@@ -132,7 +132,7 @@ bool is_excluded(const FuzzCase& c, int id) {
 /// violations.
 template <class Out>
 FuzzOutcome run_case(
-    const FuzzCase& c, net::Transcript* transcript,
+    const FuzzCase& c, net::Transcript* transcript, obs::Tracer* tracer,
     const std::function<Out(net::PartyContext&, int)>& body,
     const std::function<void(const std::vector<std::optional<Out>>&,
                              FuzzOutcome&)>& check) {
@@ -142,6 +142,7 @@ FuzzOutcome run_case(
   net.set_exec_policy(net::ExecPolicy{c.threads});
   if (!c.faults.empty()) net.set_fault_plan(c.faults);
   if (transcript != nullptr) net.set_transcript(transcript);
+  if (tracer != nullptr) net.set_tracer(tracer);
   std::vector<std::optional<Out>> outputs(static_cast<std::size_t>(c.n));
   for (int id = 0; id < c.n; ++id) {
     if (is_corrupted(c, id)) {
@@ -275,7 +276,7 @@ void check_hull(const FuzzCase& c, const std::vector<Out>& inputs,
 // honest protocol everywhere, and states that protocol's slice of the
 // paper's guarantees.
 
-FuzzOutcome run_pi_z(const FuzzCase& c, net::Transcript* tr) {
+FuzzOutcome run_pi_z(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
   const ca::ConvexAgreement proto;
   Rng rng = workload_rng(c);
   std::vector<BigInt> inputs;
@@ -283,7 +284,7 @@ FuzzOutcome run_pi_z(const FuzzCase& c, net::Transcript* tr) {
     inputs.emplace_back(rng.nat_below_pow2(c.ell), rng.next_bool());
   }
   return run_case<BigInt>(
-      c, tr,
+      c, tr, tracer,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -293,7 +294,7 @@ FuzzOutcome run_pi_z(const FuzzCase& c, net::Transcript* tr) {
       });
 }
 
-FuzzOutcome run_broadcast_trim(const FuzzCase& c, net::Transcript* tr) {
+FuzzOutcome run_broadcast_trim(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
   const ca::DefaultBAStack stack;
   const ca::BroadcastTrimCA proto(stack.kit());
   Rng rng = workload_rng(c);
@@ -302,7 +303,7 @@ FuzzOutcome run_broadcast_trim(const FuzzCase& c, net::Transcript* tr) {
     inputs.emplace_back(rng.nat_below_pow2(c.ell), rng.next_bool());
   }
   return run_case<BigInt>(
-      c, tr,
+      c, tr, tracer,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -312,14 +313,14 @@ FuzzOutcome run_broadcast_trim(const FuzzCase& c, net::Transcript* tr) {
       });
 }
 
-FuzzOutcome run_pi_n(const FuzzCase& c, net::Transcript* tr) {
+FuzzOutcome run_pi_n(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
   const ca::DefaultBAStack stack;
   const ca::PiN proto(stack.kit());
   Rng rng = workload_rng(c);
   std::vector<BigNat> inputs;
   for (int i = 0; i < c.n; ++i) inputs.push_back(rng.nat_below_pow2(c.ell));
   return run_case<BigNat>(
-      c, tr,
+      c, tr, tracer,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -329,13 +330,13 @@ FuzzOutcome run_pi_n(const FuzzCase& c, net::Transcript* tr) {
       });
 }
 
-FuzzOutcome run_high_cost(const FuzzCase& c, net::Transcript* tr) {
+FuzzOutcome run_high_cost(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
   const ca::HighCostCA proto;
   Rng rng = workload_rng(c);
   std::vector<BigNat> inputs;
   for (int i = 0; i < c.n; ++i) inputs.push_back(rng.nat_below_pow2(c.ell));
   return run_case<BigNat>(
-      c, tr,
+      c, tr, tracer,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -345,7 +346,7 @@ FuzzOutcome run_high_cost(const FuzzCase& c, net::Transcript* tr) {
       });
 }
 
-FuzzOutcome run_fixed_length(const FuzzCase& c, net::Transcript* tr) {
+FuzzOutcome run_fixed_length(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
   const ca::DefaultBAStack stack;
   const ca::FixedLengthCA proto(stack.kit());
   Rng rng = workload_rng(c);
@@ -355,7 +356,7 @@ FuzzOutcome run_fixed_length(const FuzzCase& c, net::Transcript* tr) {
     return Bitstring::numeric_compare(a, b) < 0;
   };
   return run_case<Bitstring>(
-      c, tr,
+      c, tr, tracer,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, c.ell, inputs[static_cast<std::size_t>(id)]);
       },
@@ -374,14 +375,14 @@ FuzzOutcome run_fixed_length(const FuzzCase& c, net::Transcript* tr) {
       });
 }
 
-FuzzOutcome run_find_prefix(const FuzzCase& c, net::Transcript* tr) {
+FuzzOutcome run_find_prefix(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
   const ca::DefaultBAStack stack;
   const ba::LongBAPlus lba(stack.kit());
   Rng rng = workload_rng(c);
   std::vector<Bitstring> inputs;
   for (int i = 0; i < c.n; ++i) inputs.push_back(rng.bits(c.ell));
   return run_case<ca::FindPrefixResult>(
-      c, tr,
+      c, tr, tracer,
       [&](net::PartyContext& ctx, int id) {
         return ca::find_prefix(ctx, lba, c.ell,
                                inputs[static_cast<std::size_t>(id)]);
@@ -458,10 +459,10 @@ std::vector<Bytes> ba_inputs(const FuzzCase& c, std::size_t value_len) {
 
 template <class Proto>
 FuzzOutcome run_ba_plus_like(const FuzzCase& c, net::Transcript* tr,
-                             const Proto& proto,
+                             obs::Tracer* tracer, const Proto& proto,
                              const std::vector<Bytes>& inputs) {
   return run_case<ba::MaybeBytes>(
-      c, tr,
+      c, tr, tracer,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -505,16 +506,16 @@ FuzzOutcome run_ba_plus_like(const FuzzCase& c, net::Transcript* tr,
       });
 }
 
-FuzzOutcome run_ba_plus(const FuzzCase& c, net::Transcript* tr) {
+FuzzOutcome run_ba_plus(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
   const ca::DefaultBAStack stack;
   const ba::BAPlus proto(stack.kit());
-  return run_ba_plus_like(c, tr, proto, ba_inputs(c, 2));
+  return run_ba_plus_like(c, tr, tracer, proto, ba_inputs(c, 2));
 }
 
-FuzzOutcome run_long_ba_plus(const FuzzCase& c, net::Transcript* tr) {
+FuzzOutcome run_long_ba_plus(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
   const ca::DefaultBAStack stack;
   const ba::LongBAPlus proto(stack.kit());
-  return run_ba_plus_like(c, tr, proto, ba_inputs(c, c.ell / 8 + 1));
+  return run_ba_plus_like(c, tr, tracer, proto, ba_inputs(c, c.ell / 8 + 1));
 }
 
 // ---------------------------------------------------------------------------
@@ -690,16 +691,21 @@ const std::vector<std::string>& known_protocols() {
   return kProtocols;
 }
 
-FuzzOutcome execute_case(const FuzzCase& c, net::Transcript* transcript) {
+FuzzOutcome execute_case(const FuzzCase& c, net::Transcript* transcript,
+                         obs::Tracer* tracer) {
   validate_case(c);
-  if (c.protocol == "PiZ") return run_pi_z(c, transcript);
-  if (c.protocol == "PiN") return run_pi_n(c, transcript);
-  if (c.protocol == "HighCostCA") return run_high_cost(c, transcript);
-  if (c.protocol == "BroadcastTrimCA") return run_broadcast_trim(c, transcript);
-  if (c.protocol == "FixedLengthCA") return run_fixed_length(c, transcript);
-  if (c.protocol == "FindPrefix") return run_find_prefix(c, transcript);
-  if (c.protocol == "BAPlus") return run_ba_plus(c, transcript);
-  if (c.protocol == "LongBAPlus") return run_long_ba_plus(c, transcript);
+  if (c.protocol == "PiZ") return run_pi_z(c, transcript, tracer);
+  if (c.protocol == "PiN") return run_pi_n(c, transcript, tracer);
+  if (c.protocol == "HighCostCA") return run_high_cost(c, transcript, tracer);
+  if (c.protocol == "BroadcastTrimCA") {
+    return run_broadcast_trim(c, transcript, tracer);
+  }
+  if (c.protocol == "FixedLengthCA") {
+    return run_fixed_length(c, transcript, tracer);
+  }
+  if (c.protocol == "FindPrefix") return run_find_prefix(c, transcript, tracer);
+  if (c.protocol == "BAPlus") return run_ba_plus(c, transcript, tracer);
+  if (c.protocol == "LongBAPlus") return run_long_ba_plus(c, transcript, tracer);
   throw Error("Fuzzer: unknown protocol '" + c.protocol + "'");
 }
 

@@ -57,7 +57,7 @@ struct FuzzCase {
   int threads = 0;             // ExecPolicy (0 = auto)
   /// Environment fault schedule (empty = none). Must be disjoint from
   /// `corrupted` (a party is either byzantine or environment-faulted, not
-  /// both); a case needs at least one of the two to be non-empty.
+  /// both). Both may be empty: that is a plain honest run.
   net::FaultPlan faults;
 
   bool operator==(const FuzzCase&) const = default;
@@ -84,10 +84,12 @@ struct FuzzOutcome {
 const std::vector<std::string>& known_protocols();
 
 /// Runs one case to its verdict. Optionally records the canonical message
-/// transcript into `transcript` (must outlive the call). Throws Error on a
+/// transcript into `transcript` and/or an observability trace into `tracer`
+/// (both must outlive the call; a fresh Tracer per case). Throws Error on a
 /// malformed case (unknown protocol, out-of-range ids, t >= n/3, ...).
 FuzzOutcome execute_case(const FuzzCase& c,
-                         net::Transcript* transcript = nullptr);
+                         net::Transcript* transcript = nullptr,
+                         obs::Tracer* tracer = nullptr);
 
 /// A minimized counterexample as stored in tests/corpus/: the case plus
 /// the violations it reproduced when found.

@@ -37,6 +37,7 @@ SimResult run_simulation(const CAProtocol& protocol, const SimConfig& config) {
   net::SyncNetwork net(config.n, config.t);
   if (config.threads > 0) net.set_exec_policy({config.threads});
   if (config.transcript != nullptr) net.set_transcript(config.transcript);
+  if (config.tracer != nullptr) net.set_tracer(config.tracer);
   SimResult result;
   result.outputs.resize(static_cast<std::size_t>(config.n));
 

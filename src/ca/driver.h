@@ -12,6 +12,10 @@
 #include "adversary/spec.h"
 #include "ca/convex_agreement.h"
 
+namespace coca::obs {
+class Tracer;
+}
+
 namespace coca::ca {
 
 struct Corruption {
@@ -37,6 +41,9 @@ struct SimConfig {
   int threads = 0;
   /// Optional canonical message-transcript sink (must outlive the call).
   net::Transcript* transcript = nullptr;
+  /// Optional observability tracer (fresh per run, must outlive the call);
+  /// see SyncNetwork::set_tracer.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct SimResult {

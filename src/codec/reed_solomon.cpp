@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/obs.h"
+
 namespace coca::codec {
 
 namespace {
@@ -164,6 +166,7 @@ ReedSolomon::ReedSolomon(std::size_t n, std::size_t k) : n_(n), k_(k) {
 }
 
 std::vector<Bytes> ReedSolomon::encode(const Bytes& data) const {
+  COCA_OBS_SPAN("rs.encode", "kernel");
   const std::size_t ssize = share_size(data.size());
   if (ssize < kWideThresholdBytes) return ref_::encode(n_, k_, data);
 
@@ -214,6 +217,7 @@ std::vector<Bytes> ReedSolomon::encode(const Bytes& data) const {
 std::optional<Bytes> ReedSolomon::decode(
     const std::vector<std::pair<std::size_t, Bytes>>& shares,
     std::size_t data_size) const {
+  COCA_OBS_SPAN("rs.decode", "kernel");
   const std::size_t ssize = share_size(data_size);
   if (ssize < kWideThresholdBytes) {
     return ref_::decode(n_, k_, shares, data_size);

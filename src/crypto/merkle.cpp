@@ -1,5 +1,7 @@
 #include "crypto/merkle.h"
 
+#include "obs/obs.h"
+
 namespace coca::crypto {
 
 namespace {
@@ -37,6 +39,7 @@ std::size_t MerkleTree::depth(std::size_t leaf_count) {
 
 MerkleTree MerkleTree::build_views(
     std::span<const std::span<const std::uint8_t>> leaves) {
+  COCA_OBS_SPAN("merkle.build", "kernel");
   require(!leaves.empty(), "MerkleTree::build: need at least one leaf");
   MerkleTree t;
   t.leaf_count_ = leaves.size();
@@ -80,6 +83,7 @@ MerkleWitness MerkleTree::witness(std::size_t index) const {
 bool MerkleTree::verify(const Digest& root, std::size_t leaf_count,
                         std::size_t index, const Bytes& leaf,
                         const MerkleWitness& witness) {
+  COCA_OBS_SPAN("merkle.verify", "kernel");
   if (leaf_count == 0 || index >= leaf_count) return false;
   if (witness.size() != depth(leaf_count)) return false;
   Digest h = leaf_hash(leaf);

@@ -158,6 +158,10 @@ const char* to_string(Outcome o);
 struct PartyOutcome {
   Outcome outcome = Outcome::kDecided;
   std::string evidence;  // exception text / crash round / round cap
+  /// Protocol phase stack ("PiZ/lBA+") the party was inside when the
+  /// outcome was sealed; empty for kDecided and for failures outside any
+  /// phase. Tells degradation tables *where* beyond-t runs die.
+  std::string phase;
 };
 
 }  // namespace coca::net

@@ -8,11 +8,18 @@ namespace {
 
 std::atomic<std::uint64_t> g_copies{0};
 std::atomic<std::uint64_t> g_bytes_copied{0};
+// Per-thread shadows of the globals: a run attributes copies to itself by
+// diffing the counters of the threads *it* executed on, so two concurrent
+// runs (fuzzer sweeps, threaded ctest) never cross-contaminate.
+thread_local std::uint64_t t_copies = 0;
+thread_local std::uint64_t t_bytes_copied = 0;
 
 void count_copy(std::size_t bytes) {
   if (bytes == 0) return;  // empty copies allocate nothing
   g_copies.fetch_add(1, std::memory_order_relaxed);
   g_bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
+  t_copies += 1;
+  t_bytes_copied += bytes;
 }
 
 }  // namespace
@@ -24,6 +31,10 @@ std::uint64_t PayloadMetrics::copies() {
 std::uint64_t PayloadMetrics::bytes_copied() {
   return g_bytes_copied.load(std::memory_order_relaxed);
 }
+
+std::uint64_t PayloadMetrics::thread_copies() { return t_copies; }
+
+std::uint64_t PayloadMetrics::thread_bytes_copied() { return t_bytes_copied; }
 
 Payload Payload::copy_of(const Bytes& bytes) {
   count_copy(bytes.size());

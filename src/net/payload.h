@@ -34,11 +34,16 @@
 
 namespace coca::net {
 
-/// Process-wide deep-copy counters for the payload substrate. Monotonic;
-/// consumers (SyncNetwork::run, tests) sample before/after and diff.
+/// Deep-copy counters for the payload substrate. Monotonic; consumers
+/// sample before/after and diff. The process-wide pair aggregates every
+/// thread; the `thread_` pair covers only the calling thread, which is how
+/// `SyncNetwork::run` attributes copies to one run even when other runs
+/// execute concurrently in the same process (fuzzer sweeps, ctest -j).
 struct PayloadMetrics {
   static std::uint64_t copies();
   static std::uint64_t bytes_copied();
+  static std::uint64_t thread_copies();
+  static std::uint64_t thread_bytes_copied();
 };
 
 class Payload {

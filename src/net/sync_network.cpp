@@ -4,10 +4,13 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdlib>
+#include <exception>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
+
+#include "obs/obs.h"
 
 #include <sys/mman.h>
 #include <ucontext.h>
@@ -171,6 +174,24 @@ struct SyncNetwork::Runner {
   std::uint64_t messages_sent = 0;
   std::vector<std::string> phase_stack;
   std::map<std::string, std::uint64_t> phase_bytes;
+  // Leaf-charged companion to phase_bytes: each send counts only in the
+  // innermost open phase (kUnattributedPhase when none), so the values sum
+  // exactly to bytes_sent. Heterogeneous lookup avoids a per-send string.
+  std::map<std::string, std::uint64_t, std::less<>> phase_leaf_bytes;
+  // Phase stack at the moment an unwind first popped it; seals the "where
+  // did this party die" attribution for PartyOutcome::phase. Cleared at
+  // every slice start so protocol-internal caught exceptions don't stick.
+  std::string fail_phase;
+
+  // ---- Observability (inert unless a tracer is installed for the run).
+  int obs_track = -1;        // phase + kernel spans, send charges
+  int obs_slice_track = -1;  // one span per executed round slice
+  bool slice_open = false;   // runner-context-only balance flag
+  // Payload deep copies performed on this runner's own OS thread (thread
+  // backend only; fibers share the controller thread, whose delta covers
+  // them). Recorded at thread exit, summed into RunStats.
+  std::uint64_t payload_copies = 0;
+  std::uint64_t payload_bytes_copied = 0;
 
   /// makecontext entry point: runs the protocol function inside the fiber
   /// and swaps back to the controller when it finishes (or unwinds).
@@ -197,6 +218,15 @@ struct SyncNetwork::Impl {
   ucontext_t controller_ctx = {};
   ExecPolicy policy;                 // default: auto (COCA_THREADS / serial)
   Transcript* transcript = nullptr;  // optional recording sink
+
+  // ---- Observability (null tracer = every hook below is one branch).
+  obs::Tracer* tracer = nullptr;
+  int obs_engine_track = -1;
+  // Engine round of the slice currently executing. Written by the
+  // controller before releasing a wave (under `mu` in the thread backend,
+  // whose barrier handshake orders runner reads; trivially ordered in the
+  // single-threaded fiber backend).
+  std::size_t current_round = 0;
 
   std::vector<std::unique_ptr<Runner>> runners;
   std::vector<std::unique_ptr<Scripted>> scripted;
@@ -328,12 +358,17 @@ struct SyncNetwork::Impl {
 
   /// Drains all staged outboxes into `wire` as (from, to, payload) triplets
   /// in canonical order -- runner-table order, send order within a runner --
-  /// and sums the bytes honest runners staged. Payloads move; no copies.
-  void drain_outboxes(std::uint64_t* honest_bytes) {
+  /// and sums the bytes/messages honest runners staged. Payloads move; no
+  /// copies.
+  void drain_outboxes(std::uint64_t* honest_bytes,
+                      std::uint64_t* honest_msgs) {
     wire.clear();
     for (auto& r : runners) {
       for (auto& staged : r->outbox) {
-        if (r->honest) *honest_bytes += staged.payload.size();
+        if (r->honest) {
+          *honest_bytes += staged.payload.size();
+          *honest_msgs += 1;
+        }
         wire.push_back({r->party, staged.to, std::move(staged.payload)});
       }
       r->outbox.clear();
@@ -345,7 +380,12 @@ struct SyncNetwork::Impl {
   /// backend calls this with the barrier mutex held.
   void deliver_round(std::size_t round) {
     std::uint64_t round_honest_bytes = 0;
-    drain_outboxes(&round_honest_bytes);
+    std::uint64_t round_honest_msgs = 0;
+    drain_outboxes(&round_honest_bytes, &round_honest_msgs);
+    if (tracer != nullptr) {
+      // The innermost open engine span is this round's span.
+      tracer->charge(obs_engine_track, round_honest_bytes, round_honest_msgs);
+    }
     // Environment link faults sit *below* the adversary: cut traffic
     // vanishes before the rushing adversary observes the round and before
     // the transcript records it.
@@ -443,7 +483,8 @@ struct SyncNetwork::Impl {
   void record_leftovers(std::size_t round) {
     if (transcript == nullptr) return;
     std::uint64_t leftover_honest_bytes = 0;
-    drain_outboxes(&leftover_honest_bytes);
+    std::uint64_t leftover_honest_msgs = 0;
+    drain_outboxes(&leftover_honest_bytes, &leftover_honest_msgs);
     filter_cut_links(wire, round);
     if (wire.empty()) return;
     std::stable_sort(wire.begin(), wire.end(),
@@ -533,16 +574,18 @@ int PartyContext::n() const { return net_.n(); }
 int PartyContext::t() const { return net_.t(); }
 
 void PartyContext::send(int to, Bytes payload) {
-  net_.runner_send(runner_, to, Payload(std::move(payload)));
+  net_.runner_send(runner_, to, Payload(std::move(payload)), "unicast");
 }
 
 void PartyContext::send(int to, Payload payload) {
-  net_.runner_send(runner_, to, std::move(payload));
+  net_.runner_send(runner_, to, std::move(payload), "unicast");
 }
 
 void PartyContext::send_all(Payload payload) {
   // One shared buffer for all n recipients: each stage is a refcount bump.
-  for (int to = 0; to < n(); ++to) net_.runner_send(runner_, to, payload);
+  for (int to = 0; to < n(); ++to) {
+    net_.runner_send(runner_, to, payload, "broadcast");
+  }
 }
 
 std::vector<Envelope> PartyContext::advance() {
@@ -646,42 +689,83 @@ void SyncNetwork::set_fault_plan(FaultPlan plan) {
 
 const FaultPlan& SyncNetwork::fault_plan() const { return impl_->plan; }
 
+void SyncNetwork::set_tracer(obs::Tracer* tracer) { impl_->tracer = tracer; }
+
 void SyncNetwork::runner_send(std::size_t runner_index, int to,
-                              Payload payload) {
+                              Payload payload, const char* kind) {
   Runner& r = *impl_->runners[runner_index];
   if (r.tap != nullptr) {
     r.tap->on_send(r.local_round, to, std::move(payload),
                    [this, runner_index](int tap_to, Payload tap_payload) {
                      runner_stage(runner_index, tap_to,
-                                  std::move(tap_payload));
+                                  std::move(tap_payload), "tap");
                    });
     return;
   }
-  runner_stage(runner_index, to, std::move(payload));
+  runner_stage(runner_index, to, std::move(payload), kind);
 }
 
 void SyncNetwork::runner_stage(std::size_t runner_index, int to,
-                               Payload payload) {
+                               Payload payload, const char* kind) {
   Runner& r = *impl_->runners[runner_index];
   require(to >= 0 && to < n_, "PartyContext::send: recipient out of range");
   if (r.allowed && !r.allowed->contains(to)) return;  // split-brain filter
-  r.bytes_sent += payload.size();
+  const std::uint64_t size = payload.size();
+  r.bytes_sent += size;
   r.messages_sent += 1;
   for (const std::string& name : r.phase_stack) {
-    r.phase_bytes[name] += payload.size();
+    r.phase_bytes[name] += size;
+  }
+  const std::string_view leaf = r.phase_stack.empty()
+                                    ? std::string_view(kUnattributedPhase)
+                                    : std::string_view(r.phase_stack.back());
+  const auto it = r.phase_leaf_bytes.find(leaf);
+  if (it != r.phase_leaf_bytes.end()) {
+    it->second += size;
+  } else {
+    r.phase_leaf_bytes.emplace(std::string(leaf), size);
+  }
+  if (obs::Tracer* tr = impl_->tracer; tr != nullptr) {
+    tr->charge(r.obs_track, size, 1);
+    // Per-(party, phase, message-kind) attribution; the party is the track.
+    std::string key;
+    key.reserve(leaf.size() + 16);
+    key += "bytes.";
+    key += leaf;
+    key += '.';
+    key += kind;
+    tr->count(r.obs_track, key, size);
+    key.replace(0, 5, "msgs");
+    tr->count(r.obs_track, key, 1);
+    tr->observe(r.obs_track, "send.bytes", size);
   }
   r.outbox.push_back({to, std::move(payload)});
 }
 
 void SyncNetwork::runner_push_phase(std::size_t runner_index,
                                     std::string name) {
-  impl_->runners[runner_index]->phase_stack.push_back(std::move(name));
+  Runner& r = *impl_->runners[runner_index];
+  if (obs::Tracer* tr = impl_->tracer; tr != nullptr) {
+    tr->begin(r.obs_track, name, "phase", impl_->current_round);
+  }
+  r.phase_stack.push_back(std::move(name));
 }
 
 void SyncNetwork::runner_pop_phase(std::size_t runner_index) {
-  auto& stack = impl_->runners[runner_index]->phase_stack;
-  ensure(!stack.empty(), "phase pop without matching push");
-  stack.pop_back();
+  Runner& r = *impl_->runners[runner_index];
+  ensure(!r.phase_stack.empty(), "phase pop without matching push");
+  if (std::uncaught_exceptions() > 0 && r.fail_phase.empty()) {
+    // First pop of a stack unwind (protocol exception, AbortSignal or
+    // CrashSignal): seal the full phase stack as the failure location.
+    for (const std::string& name : r.phase_stack) {
+      if (!r.fail_phase.empty()) r.fail_phase += '/';
+      r.fail_phase += name;
+    }
+  }
+  if (obs::Tracer* tr = impl_->tracer; tr != nullptr) {
+    tr->end(r.obs_track);
+  }
+  r.phase_stack.pop_back();
 }
 
 std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
@@ -690,16 +774,23 @@ std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
   if (impl_->fibers) {
     // Cooperative barrier: one stack swap to the controller, which resumes
     // this fiber at the start of the next round slice. No locks: the whole
-    // network runs on one OS thread.
+    // network runs on one OS thread. Slice spans and the kernel-span
+    // thread scope are managed by the controller around the swap.
     r.state = Runner::State::AtBarrier;
     swapcontext(&r.fiber_ctx, &impl_->controller_ctx);
     if (impl_->abort) throw AbortSignal{};
     if (r.crash_unwind) throw CrashSignal{};
     r.state = Runner::State::Running;
+    r.fail_phase.clear();
     inbox = std::exchange(r.inbox_next, {});
   } else {
     std::unique_lock lk(impl_->mu);
     r.state = Runner::State::AtBarrier;
+    if (impl_->tracer != nullptr && r.slice_open) {
+      obs::thread_scope() = {};
+      impl_->tracer->end(r.obs_slice_track);
+      r.slice_open = false;
+    }
     if (r.in_flight) {
       r.in_flight = false;
       --impl_->in_flight;
@@ -710,6 +801,12 @@ std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
     if (r.crash_unwind) throw CrashSignal{};
     r.go = false;
     r.state = Runner::State::Running;
+    r.fail_phase.clear();
+    if (obs::Tracer* tr = impl_->tracer; tr != nullptr) {
+      tr->begin(r.obs_slice_track, "slice", "slice", impl_->current_round);
+      obs::thread_scope() = {tr, r.obs_track, impl_->current_round};
+      r.slice_open = true;
+    }
     inbox = std::exchange(r.inbox_next, {});
   }
   // The runner entered the next round; let a tap flush held-back messages
@@ -718,7 +815,8 @@ std::vector<Envelope> SyncNetwork::runner_advance(std::size_t runner_index) {
   if (r.tap != nullptr) {
     r.tap->on_round_start(r.local_round,
                           [this, runner_index](int to, Payload payload) {
-                            runner_stage(runner_index, to, std::move(payload));
+                            runner_stage(runner_index, to, std::move(payload),
+                                         "tap");
                           });
   }
   return inbox;
@@ -756,13 +854,47 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
   im.faults = FaultStats{};
   im.crash_started.assign(im.plan.crashes.size(), 0);
   im.crash_recovered.assign(im.plan.crashes.size(), 0);
-  const std::uint64_t copies_before = PayloadMetrics::copies();
-  const std::uint64_t bytes_copied_before = PayloadMetrics::bytes_copied();
+  im.current_round = 0;
+  if (obs::Tracer* tr = im.tracer; tr != nullptr) {
+    // Pre-run track registration (the only time the tracer's track table
+    // grows; afterwards each track is written by one execution context).
+    im.obs_engine_track = tr->add_track("engine", "engine", false);
+    for (auto& rp : im.runners) {
+      std::string label = "party " + std::to_string(rp->party);
+      if (im.runners_of_party[static_cast<std::size_t>(rp->party)].size() >
+          1) {
+        // Split-brain halves share a wire id; disambiguate by half.
+        const auto& of_party =
+            im.runners_of_party[static_cast<std::size_t>(rp->party)];
+        const std::size_t self =
+            static_cast<std::size_t>(&rp - im.runners.data());
+        label += of_party.front() == self ? " (a)" : " (b)";
+      }
+      rp->obs_track = tr->add_track(label, "party", rp->honest);
+      rp->obs_slice_track = tr->add_track(label + " slices", "slices", false);
+      rp->slice_open = false;
+    }
+  }
+  // Per-run payload-copy attribution: the controller thread's delta plus
+  // each runner thread's delta (fibers all run on the controller thread).
+  // Thread-local accounting keeps concurrent runs in other threads out.
+  const std::uint64_t ctl_copies_before = PayloadMetrics::thread_copies();
+  const std::uint64_t ctl_bytes_copied_before =
+      PayloadMetrics::thread_bytes_copied();
 
   std::size_t rounds = 0;
   std::exception_ptr failure;
   bool timed_out = false;
   bool watchdog_fired = false;
+  const auto begin_round_span = [&] {
+    if (im.tracer != nullptr) {
+      im.tracer->begin(im.obs_engine_track, "round " + std::to_string(rounds),
+                       "round", rounds);
+    }
+  };
+  const auto end_round_span = [&] {
+    if (im.tracer != nullptr) im.tracer->end(im.obs_engine_track);
+  };
 
   if (im.fibers) {
     // ---- Fiber backend: every runner is a cooperative fiber; the
@@ -787,11 +919,21 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
       });
     };
     for (;;) {
+      im.current_round = rounds;
       im.begin_slice_faults(rounds);
+      begin_round_span();
       for (auto& rp : im.runners) {
         if (rp->state == Runner::State::Finished) continue;
         if (im.skip_this_slice(*rp, rounds)) continue;
+        if (obs::Tracer* tr = im.tracer; tr != nullptr) {
+          tr->begin(rp->obs_slice_track, "slice", "slice", rounds);
+          obs::thread_scope() = {tr, rp->obs_track, rounds};
+        }
         swapcontext(&im.controller_ctx, &rp->fiber_ctx);
+        if (obs::Tracer* tr = im.tracer; tr != nullptr) {
+          obs::thread_scope() = {};
+          tr->end(rp->obs_slice_track);
+        }
       }
       // Guarded mode is the exception barrier: a throwing party is already
       // parked as Finished-with-error and the run simply continues without
@@ -800,14 +942,22 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
         for (auto& r : im.runners) {
           if (r->error && !failure) failure = r->error;
         }
-        if (failure) break;
+        if (failure) {
+          end_round_span();
+          break;
+        }
       }
-      if (all_finished()) break;
+      if (all_finished()) {
+        end_round_span();
+        break;
+      }
       if (rounds >= max_rounds) {
         timed_out = true;
+        end_round_span();
         break;
       }
       im.deliver_round(rounds);
+      end_round_span();
       ++rounds;
     }
     if (failure || timed_out) {
@@ -831,6 +981,9 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
     for (auto& rp : im.runners) {
       Runner& r = *rp;
       r.thread = std::thread([this, &r] {
+        const std::uint64_t copies0 = PayloadMetrics::thread_copies();
+        const std::uint64_t bytes_copied0 =
+            PayloadMetrics::thread_bytes_copied();
         try {
           {
             std::unique_lock lk(impl_->mu);
@@ -839,6 +992,12 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
             if (r.crash_unwind) throw CrashSignal{};
             r.go = false;
             r.state = Runner::State::Running;
+            if (obs::Tracer* tr = impl_->tracer; tr != nullptr) {
+              tr->begin(r.obs_slice_track, "slice", "slice",
+                        impl_->current_round);
+              obs::thread_scope() = {tr, r.obs_track, impl_->current_round};
+              r.slice_open = true;
+            }
           }
           r.fn(*r.ctx);
           r.decided = true;
@@ -852,6 +1011,14 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
           r.error = std::current_exception();
         }
         std::lock_guard lk(impl_->mu);
+        if (impl_->tracer != nullptr && r.slice_open) {
+          obs::thread_scope() = {};
+          impl_->tracer->end(r.obs_slice_track);
+          r.slice_open = false;
+        }
+        r.payload_copies = PayloadMetrics::thread_copies() - copies0;
+        r.payload_bytes_copied =
+            PayloadMetrics::thread_bytes_copied() - bytes_copied0;
         r.state = Runner::State::Finished;
         if (r.in_flight) {
           r.in_flight = false;
@@ -869,25 +1036,36 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
         });
       };
       for (;;) {
+        im.current_round = rounds;
         im.begin_slice_faults(rounds);
+        begin_round_span();
         if (!im.run_wave(lk, window, rounds)) {
           timed_out = true;
           watchdog_fired = true;
+          end_round_span();
           break;
         }
         if (!guarded) {
           for (auto& r : im.runners) {
             if (r->error && !failure) failure = r->error;
           }
-          if (failure) break;
+          if (failure) {
+            end_round_span();
+            break;
+          }
         }
-        if (all_finished()) break;
+        if (all_finished()) {
+          end_round_span();
+          break;
+        }
         if (rounds >= max_rounds) {
           timed_out = true;
+          end_round_span();
           break;
         }
         // All runners are parked; deliver one round.
         im.deliver_round(rounds);
+        end_round_span();
         ++rounds;
       }
 
@@ -918,17 +1096,25 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
   RunStats& stats = rep.stats;
   stats.rounds = rounds;
   stats.faults = im.faults;
-  stats.payload_copies = PayloadMetrics::copies() - copies_before;
+  stats.payload_copies =
+      PayloadMetrics::thread_copies() - ctl_copies_before;
   stats.payload_bytes_copied =
-      PayloadMetrics::bytes_copied() - bytes_copied_before;
+      PayloadMetrics::thread_bytes_copied() - ctl_bytes_copied_before;
   stats.bytes_by_party.assign(static_cast<std::size_t>(n_), 0);
   for (const auto& r : im.runners) {
+    // Runner-thread copy deltas are zero in the fiber backend (all fibers
+    // share the controller thread, already counted above).
+    stats.payload_copies += r->payload_copies;
+    stats.payload_bytes_copied += r->payload_bytes_copied;
     stats.bytes_by_party[static_cast<std::size_t>(r->party)] += r->bytes_sent;
     if (r->honest) {
       stats.honest_bytes += r->bytes_sent;
       stats.honest_messages += r->messages_sent;
       for (const auto& [name, bytes] : r->phase_bytes) {
         stats.honest_bytes_by_phase[name] += bytes;
+      }
+      for (const auto& [name, bytes] : r->phase_leaf_bytes) {
+        stats.phase_breakdown[name] += bytes;
       }
     }
   }
@@ -938,27 +1124,43 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
 
   // Per-party outcomes, worst over a party's runners (split-brain owns two).
   rep.outcomes.assign(static_cast<std::size_t>(n_), PartyOutcome{});
-  const auto note = [&](int party, Outcome o, std::string ev) {
+  const auto note = [&](int party, Outcome o, std::string ev,
+                        std::string phase) {
     PartyOutcome& po = rep.outcomes[static_cast<std::size_t>(party)];
     if (static_cast<int>(o) > static_cast<int>(po.outcome)) {
       po.outcome = o;
       po.evidence = std::move(ev);
+      po.phase = std::move(phase);
     }
   };
   for (const auto& r : im.runners) {
     if (r->error) {
-      note(r->party, Outcome::kAborted, what_of(r->error));
+      note(r->party, Outcome::kAborted, what_of(r->error), r->fail_phase);
     } else if (r->crashed_by_plan) {
-      note(r->party, Outcome::kCrashed, "fault-plan crash-stop");
+      note(r->party, Outcome::kCrashed, "fault-plan crash-stop",
+           r->fail_phase);
     } else if (!r->decided) {
       note(r->party, Outcome::kTimedOut,
-           "still running after round " + std::to_string(rounds));
+           "still running after round " + std::to_string(rounds),
+           r->fail_phase);
     }
   }
   for (const auto& s : im.scripted) {
     if (!im.plan.empty() && im.plan.crash_stopped(s->party, rounds)) {
-      note(s->party, Outcome::kCrashed, "fault-plan crash-stop");
+      note(s->party, Outcome::kCrashed, "fault-plan crash-stop", "");
     }
+  }
+
+  if (obs::Tracer* tr = im.tracer; tr != nullptr) {
+    // Whole-run counters on the engine track; wall.ns is 0 in canonical
+    // (timing-off) mode, keeping the metrics export schedule-deterministic.
+    tr->count(im.obs_engine_track, "rounds", stats.rounds);
+    tr->count(im.obs_engine_track, "honest.bytes", stats.honest_bytes);
+    tr->count(im.obs_engine_track, "honest.messages", stats.honest_messages);
+    tr->count(im.obs_engine_track, "payload.copies", stats.payload_copies);
+    tr->count(im.obs_engine_track, "payload.bytes_copied",
+              stats.payload_bytes_copied);
+    tr->count(im.obs_engine_track, "wall.ns", tr->now_ns());
   }
   return rep;
 }

@@ -57,6 +57,10 @@
 #include "util/common.h"
 #include "util/rng.h"
 
+namespace coca::obs {
+class Tracer;
+}
+
 namespace coca::net {
 
 /// Root seed domains for the per-party deterministic RNG streams
@@ -65,6 +69,12 @@ namespace coca::net {
 /// splitting surface as test failures, not silent transcript drift.
 inline constexpr std::uint64_t kRunnerSeedDomain = 0x5EEDC0CA'0000001DULL;
 inline constexpr std::uint64_t kScriptedSeedDomain = 0x5EEDC0CA'00000B52ULL;
+
+/// Phase key for honest bytes staged outside any PhaseScope. Appears in
+/// `RunStats::phase_breakdown` so the map always sums exactly to
+/// `honest_bytes`; a nonzero value under this key on an honest run means a
+/// protocol forgot to wrap a send in a phase (the invariant oracle checks).
+inline constexpr const char* kUnattributedPhase = "(unattributed)";
 
 /// Stream key of a protocol-running instance: split-brain corruptions own
 /// two runners behind one party id, so the runner index disambiguates.
@@ -242,6 +252,14 @@ struct RunStats {
   std::vector<std::uint64_t> bytes_by_party;
   std::map<std::string, std::uint64_t> honest_bytes_by_phase;
 
+  /// Leaf-charged phase attribution: every staged honest byte lands on
+  /// exactly one key -- the innermost open PhaseScope at send time, or
+  /// `kUnattributedPhase` when none is open -- so the values sum to
+  /// `honest_bytes` exactly (tier-1 asserted). Contrast with
+  /// `honest_bytes_by_phase`, the legacy *inclusive* accounting where a
+  /// byte counts in every enclosing phase.
+  std::map<std::string, std::uint64_t> phase_breakdown;
+
   /// Deep payload copies the wire substrate performed during this run
   /// (process-wide `PayloadMetrics` delta): 0 on the honest path --
   /// `send_all` shares one buffer among all recipients, mailboxes and
@@ -315,6 +333,17 @@ class SyncNetwork {
   /// to disable. The sink must outlive run().
   void set_transcript(Transcript* sink);
 
+  /// Attaches an observability tracer (see obs/obs.h): the engine opens a
+  /// span around every round (on an "engine" track) and every party slice
+  /// (on per-party "slices" tracks), mirrors PhaseScopes as spans on
+  /// per-party tracks with sends charged to the innermost one, and points
+  /// the thread-local COCA_OBS_SPAN scope at the running party so compute
+  /// kernels appear nested under its phases. Use a fresh tracer per run
+  /// (tracks are registered at run start); it must outlive run(). Null
+  /// (the default) disables all tracing work -- the run is bit-identical
+  /// either way.
+  void set_tracer(obs::Tracer* tracer);
+
   /// Runs to completion (all protocol-running parties returned).
   /// Throws if any honest party threw, or if `max_rounds` is exceeded.
   /// (Legacy strict mode: the first party error aborts the whole run.
@@ -344,8 +373,10 @@ class SyncNetwork {
                      std::exception_ptr* first_error,
                      std::string* failure_reason);
 
-  void runner_send(std::size_t runner_index, int to, Payload payload);
-  void runner_stage(std::size_t runner_index, int to, Payload payload);
+  void runner_send(std::size_t runner_index, int to, Payload payload,
+                   const char* kind);
+  void runner_stage(std::size_t runner_index, int to, Payload payload,
+                    const char* kind);
   std::vector<Envelope> runner_advance(std::size_t runner_index);
   void runner_push_phase(std::size_t runner_index, std::string name);
   void runner_pop_phase(std::size_t runner_index);

@@ -1,0 +1,23 @@
+// Bridges the engine's RunStats to the engine-agnostic obs::StatsView.
+// Lives in obs/ but includes net/: only code that already links both
+// layers (tools, benches, tests) should include this header.
+#pragma once
+
+#include "net/sync_network.h"
+#include "obs/export.h"
+
+namespace coca::obs {
+
+inline StatsView stats_view(const net::RunStats& stats) {
+  StatsView view;
+  view.rounds = static_cast<std::uint64_t>(stats.rounds);
+  view.honest_bytes = stats.honest_bytes;
+  view.honest_messages = stats.honest_messages;
+  view.payload_copies = stats.payload_copies;
+  view.payload_bytes_copied = stats.payload_bytes_copied;
+  view.phase_breakdown = stats.phase_breakdown;
+  view.inclusive_bytes = stats.honest_bytes_by_phase;
+  return view;
+}
+
+}  // namespace coca::obs

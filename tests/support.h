@@ -120,6 +120,29 @@ class InvariantOracle {
     }
     return ::testing::AssertionSuccess();
   }
+
+  /// Span/phase coverage: the leaf-charged phase breakdown accounts for
+  /// every honest byte exactly once, and (on honest protocol runs, where
+  /// all traffic happens inside named phases) nothing lands in the
+  /// "(unattributed)" bucket.
+  static ::testing::AssertionResult phase_coverage(
+      const net::RunStats& stats, bool allow_unattributed = false) {
+    std::uint64_t sum = 0;
+    for (const auto& [phase, bytes] : stats.phase_breakdown) sum += bytes;
+    if (sum != stats.honest_bytes) {
+      return ::testing::AssertionFailure()
+             << "phase_breakdown sums to " << sum << " bytes, honest_bytes is "
+             << stats.honest_bytes;
+    }
+    if (!allow_unattributed) {
+      const auto it = stats.phase_breakdown.find(net::kUnattributedPhase);
+      if (it != stats.phase_breakdown.end() && it->second != 0) {
+        return ::testing::AssertionFailure()
+               << it->second << " honest bytes charged outside any phase";
+      }
+    }
+    return ::testing::AssertionSuccess();
+  }
 };
 
 /// All engaged outputs equal; at least one engaged (shorthand the whole

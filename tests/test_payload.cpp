@@ -9,7 +9,9 @@
 //   * first_per_sender filters by view (refcount bumps), never byte copies.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -194,6 +196,51 @@ TEST(PayloadNetwork, LvalueSendAllCountsOneCopyPerBroadcast) {
   const RunStats stats = net.run();
   EXPECT_EQ(stats.payload_copies, static_cast<std::uint64_t>(n));
   EXPECT_EQ(stats.payload_bytes_copied, static_cast<std::uint64_t>(n) * 100);
+}
+
+// Two networks running concurrently on separate threads must each see only
+// their own substrate copies in RunStats: the per-run counters are
+// thread-local deltas, not slices of the process-wide totals. Before the
+// per-run isolation, the copy-heavy run's counts bled into the clean run's
+// RunStats whenever the two overlapped.
+TEST(PayloadNetwork, ConcurrentRunsDoNotCrossContaminate) {
+  constexpr int kN = 4;
+  constexpr int kRounds = 40;
+  std::atomic<bool> go{false};
+  RunStats clean_stats;
+  RunStats dirty_stats;
+
+  const auto drive = [&](bool copy_heavy, RunStats* out) {
+    while (!go.load()) std::this_thread::yield();
+    SyncNetwork net(kN, 1);
+    for (int i = 0; i < kN; ++i) {
+      net.set_honest(i, [copy_heavy](PartyContext& ctx) {
+        for (int r = 0; r < kRounds; ++r) {
+          if (copy_heavy) {
+            const Bytes msg = make_bytes(128, 1);  // lvalue: one copy per call
+            ctx.send_all(msg);
+          } else {
+            ctx.send_all(make_bytes(128, 1));  // rvalue: zero-copy
+          }
+          ctx.advance();
+        }
+      });
+    }
+    *out = net.run();
+  };
+
+  std::thread clean(drive, false, &clean_stats);
+  std::thread dirty(drive, true, &dirty_stats);
+  go.store(true);
+  clean.join();
+  dirty.join();
+
+  EXPECT_EQ(clean_stats.payload_copies, 0u);
+  EXPECT_EQ(clean_stats.payload_bytes_copied, 0u);
+  EXPECT_EQ(dirty_stats.payload_copies,
+            static_cast<std::uint64_t>(kN) * kRounds);
+  EXPECT_EQ(dirty_stats.payload_bytes_copied,
+            static_cast<std::uint64_t>(kN) * kRounds * 128);
 }
 
 /// Corrupts the first byte of every payload addressed to `victim`; forwards

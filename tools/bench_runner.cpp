@@ -6,6 +6,8 @@
 //   bench_runner --reps 5                 # best-of-N timing (default 3)
 //   bench_runner --smoke                  # CI probe: one fast config plus the
 //                                         # zero-copy broadcast check
+//   bench_runner --trace                  # embed per-entry phase_bits (the
+//                                         # leaf phase breakdown, in bits)
 //
 // The matrix is pinned (protocol, n, ell, threads, seed) so runs are
 // comparable across commits; every entry reports wall-clock seconds,
@@ -23,6 +25,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,7 +49,8 @@ using namespace coca;
                "  --out FILE         write JSON to FILE (default stdout)\n"
                "  --baseline FILE    embed FILE's JSON as the \"baseline\" "
                "field\n"
-               "  --reps N           best-of-N wall-clock (default 3)\n";
+               "  --reps N           best-of-N wall-clock (default 3)\n"
+               "  --trace            embed per-entry phase_bits breakdowns\n";
   std::exit(2);
 }
 
@@ -163,10 +167,12 @@ struct Result {
   std::uint64_t honest_bits = 0;
   std::size_t rounds = 0;
   std::uint64_t payload_copies = 0;
+  /// Leaf phase breakdown in bits (--trace only); sums to honest_bits.
+  std::map<std::string, std::uint64_t> phase_bits;
 };
 
 /// Runs one matrix entry best-of-`reps`; throws on protocol failure.
-Result run_entry(const Entry& e, int reps) {
+Result run_entry(const Entry& e, int reps, bool trace) {
   static const ca::ConvexAgreement pi_z;
   static const ca::DefaultBAStack stack;
   static const ca::BroadcastTrimCA broadcast(stack.kit());
@@ -197,6 +203,12 @@ Result run_entry(const Entry& e, int reps) {
     out.honest_bits = r.stats.honest_bits();
     out.rounds = r.stats.rounds;
     out.payload_copies = r.stats.payload_copies;
+    if (trace) {
+      out.phase_bits.clear();
+      for (const auto& [phase, bytes] : r.stats.phase_breakdown) {
+        out.phase_bits[phase] = bytes * 8;
+      }
+    }
     if (!r.agreement()) {
       throw Error("bench_runner: agreement violated in benchmark run");
     }
@@ -244,13 +256,24 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
         "    {\"bench\": \"%s\", \"protocol\": \"%s\", \"n\": %d, \"t\": %d, "
         "\"ell_bits\": %zu, \"threads\": 1, \"seed\": %llu, "
         "\"seconds\": %.6f, \"honest_bits\": %llu, \"rounds\": %zu, "
-        "\"payload_copies\": %llu}%s",
+        "\"payload_copies\": %llu",
         r.entry.bench, r.entry.protocol, r.entry.n, max_t(r.entry.n),
         r.entry.ell, static_cast<unsigned long long>(r.entry.seed), r.seconds,
         static_cast<unsigned long long>(r.honest_bits), r.rounds,
-        static_cast<unsigned long long>(r.payload_copies),
-        i + 1 < results.size() ? ",\n" : "\n");
+        static_cast<unsigned long long>(r.payload_copies));
     os << buf;
+    // Only --trace runs carry the breakdown, so untraced output stays
+    // byte-identical to pre --trace baselines.
+    if (!r.phase_bits.empty()) {
+      os << ", \"phase_bits\": {";
+      bool first = true;
+      for (const auto& [phase, bits] : r.phase_bits) {
+        os << (first ? "" : ", ") << "\"" << phase << "\": " << bits;
+        first = false;
+      }
+      os << "}";
+    }
+    os << "}" << (i + 1 < results.size() ? ",\n" : "\n");
   }
   os << "  ]";
   if (!fault_results.empty()) {
@@ -283,6 +306,7 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool trace = false;
   int reps = 3;
   std::string out_path;
   std::string baseline_path;
@@ -294,6 +318,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--trace") {
+      trace = true;
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--baseline") {
@@ -336,7 +362,7 @@ int main(int argc, char** argv) {
   std::vector<Result> results;
   for (const Entry& e : smoke ? smoke_matrix() : full_matrix()) {
     try {
-      results.push_back(run_entry(e, smoke ? 1 : reps));
+      results.push_back(run_entry(e, smoke ? 1 : reps, trace));
     } catch (const std::exception& ex) {
       std::cerr << "bench_runner: " << ex.what() << "\n";
       return 1;

@@ -16,6 +16,9 @@
 #include <vector>
 
 #include "adversary/fuzzer.h"
+#include "obs/adapt.h"
+#include "obs/export.h"
+#include "obs/obs.h"
 
 namespace {
 
@@ -36,7 +39,9 @@ using coca::adv::FuzzerOptions;
       "                       link cuts, partitions, shuffles) as a search\n"
       "                       dimension, keeping |corrupted|+|charged| <= t\n"
       "  --no-shrink          report violations without minimizing them\n"
-      "  --corpus-out DIR     write each minimized violation to DIR/*.json\n"
+      "  --corpus-out DIR     write each minimized violation to DIR/*.json,\n"
+      "                       plus a canonical *.trace.json metrics trace of\n"
+      "                       the counterexample's execution\n"
       "  --replay FILE        re-execute one corpus entry instead of searching\n"
       "  --expect-violation   invert the exit status (canary runs must fail)\n"
       "  --list               print the known protocol targets\n";
@@ -171,6 +176,33 @@ int main(int argc, char** argv) {
         }
         out << coca::adv::to_json(entry);
         std::cout << "  wrote " << path << "\n";
+        // Attach a canonical (timing-free, schedule-independent) metrics
+        // trace of the minimized counterexample next to the entry.
+        namespace obs = coca::obs;
+        obs::Tracer tracer(obs::Tracer::Options{/*timing=*/false});
+        const auto traced =
+            coca::adv::execute_case(entry.c, /*transcript=*/nullptr, &tracer);
+        obs::RunMeta meta;
+        meta.protocol = entry.c.protocol;
+        meta.n = entry.c.n;
+        meta.t = entry.c.t;
+        meta.ell_bits = entry.c.ell;
+        meta.seed = entry.c.input_seed;
+        meta.threads = entry.c.threads;
+        meta.notes = "fuzz counterexample, mutation seed " +
+                     std::to_string(entry.c.mutation.seed);
+        const std::string trace_path =
+            corpus_out + "/" + entry.c.protocol + "-" +
+            std::to_string(entry.c.mutation.seed) + ".trace.json";
+        std::ofstream trace_out(trace_path);
+        if (!trace_out) {
+          std::cerr << "fuzz_driver: cannot write " << trace_path << "\n";
+          return 2;
+        }
+        trace_out << obs::metrics_json(tracer, meta,
+                                       obs::stats_view(traced.stats),
+                                       /*include_timing=*/false);
+        std::cout << "  wrote " << trace_path << "\n";
       }
     }
     if (report.violations.empty()) {
