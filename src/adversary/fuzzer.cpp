@@ -17,10 +17,9 @@
 #include "util/bitstring.h"
 
 namespace coca::adv {
-namespace {
 
 // ---------------------------------------------------------------------------
-// Case validation and budgets.
+// Case validation.
 
 void validate_case(const FuzzCase& c) {
   require(c.n >= 4, "FuzzCase: need n >= 4");
@@ -48,6 +47,11 @@ void validate_case(const FuzzCase& c) {
   require(c.mutation.max_delay >= 1, "FuzzCase: need max_delay >= 1");
   require(c.threads >= 0, "FuzzCase: need threads >= 0");
 }
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Budgets.
 
 /// Per-target round/bits caps: generous "smoke budgets" -- a large constant
 /// times the paper's cost formula -- so that honest-side regressions and
@@ -132,7 +136,7 @@ bool is_excluded(const FuzzCase& c, int id) {
 /// violations.
 template <class Out>
 FuzzOutcome run_case(
-    const FuzzCase& c, net::Transcript* transcript, obs::Tracer* tracer,
+    const FuzzCase& c, const ExecHooks& hooks,
     const std::function<Out(net::PartyContext&, int)>& body,
     const std::function<void(const std::vector<std::optional<Out>>&,
                              FuzzOutcome&)>& check) {
@@ -141,8 +145,9 @@ FuzzOutcome run_case(
   net::SyncNetwork net(c.n, c.t);
   net.set_exec_policy(net::ExecPolicy{c.threads});
   if (!c.faults.empty()) net.set_fault_plan(c.faults);
-  if (transcript != nullptr) net.set_transcript(transcript);
-  if (tracer != nullptr) net.set_tracer(tracer);
+  if (hooks.transcript != nullptr) net.set_transcript(hooks.transcript);
+  if (hooks.tracer != nullptr) net.set_tracer(hooks.tracer);
+  if (hooks.observer != nullptr) net.set_round_observer(hooks.observer);
   std::vector<std::optional<Out>> outputs(static_cast<std::size_t>(c.n));
   for (int id = 0; id < c.n; ++id) {
     if (is_corrupted(c, id)) {
@@ -276,7 +281,7 @@ void check_hull(const FuzzCase& c, const std::vector<Out>& inputs,
 // honest protocol everywhere, and states that protocol's slice of the
 // paper's guarantees.
 
-FuzzOutcome run_pi_z(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
+FuzzOutcome run_pi_z(const FuzzCase& c, const ExecHooks& hooks) {
   const ca::ConvexAgreement proto;
   Rng rng = workload_rng(c);
   std::vector<BigInt> inputs;
@@ -284,7 +289,7 @@ FuzzOutcome run_pi_z(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer
     inputs.emplace_back(rng.nat_below_pow2(c.ell), rng.next_bool());
   }
   return run_case<BigInt>(
-      c, tr, tracer,
+      c, hooks,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -294,7 +299,7 @@ FuzzOutcome run_pi_z(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer
       });
 }
 
-FuzzOutcome run_broadcast_trim(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
+FuzzOutcome run_broadcast_trim(const FuzzCase& c, const ExecHooks& hooks) {
   const ca::DefaultBAStack stack;
   const ca::BroadcastTrimCA proto(stack.kit());
   Rng rng = workload_rng(c);
@@ -303,7 +308,7 @@ FuzzOutcome run_broadcast_trim(const FuzzCase& c, net::Transcript* tr, obs::Trac
     inputs.emplace_back(rng.nat_below_pow2(c.ell), rng.next_bool());
   }
   return run_case<BigInt>(
-      c, tr, tracer,
+      c, hooks,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -313,14 +318,14 @@ FuzzOutcome run_broadcast_trim(const FuzzCase& c, net::Transcript* tr, obs::Trac
       });
 }
 
-FuzzOutcome run_pi_n(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
+FuzzOutcome run_pi_n(const FuzzCase& c, const ExecHooks& hooks) {
   const ca::DefaultBAStack stack;
   const ca::PiN proto(stack.kit());
   Rng rng = workload_rng(c);
   std::vector<BigNat> inputs;
   for (int i = 0; i < c.n; ++i) inputs.push_back(rng.nat_below_pow2(c.ell));
   return run_case<BigNat>(
-      c, tr, tracer,
+      c, hooks,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -330,13 +335,13 @@ FuzzOutcome run_pi_n(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer
       });
 }
 
-FuzzOutcome run_high_cost(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
+FuzzOutcome run_high_cost(const FuzzCase& c, const ExecHooks& hooks) {
   const ca::HighCostCA proto;
   Rng rng = workload_rng(c);
   std::vector<BigNat> inputs;
   for (int i = 0; i < c.n; ++i) inputs.push_back(rng.nat_below_pow2(c.ell));
   return run_case<BigNat>(
-      c, tr, tracer,
+      c, hooks,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -346,7 +351,7 @@ FuzzOutcome run_high_cost(const FuzzCase& c, net::Transcript* tr, obs::Tracer* t
       });
 }
 
-FuzzOutcome run_fixed_length(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
+FuzzOutcome run_fixed_length(const FuzzCase& c, const ExecHooks& hooks) {
   const ca::DefaultBAStack stack;
   const ca::FixedLengthCA proto(stack.kit());
   Rng rng = workload_rng(c);
@@ -356,7 +361,7 @@ FuzzOutcome run_fixed_length(const FuzzCase& c, net::Transcript* tr, obs::Tracer
     return Bitstring::numeric_compare(a, b) < 0;
   };
   return run_case<Bitstring>(
-      c, tr, tracer,
+      c, hooks,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, c.ell, inputs[static_cast<std::size_t>(id)]);
       },
@@ -375,14 +380,14 @@ FuzzOutcome run_fixed_length(const FuzzCase& c, net::Transcript* tr, obs::Tracer
       });
 }
 
-FuzzOutcome run_find_prefix(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
+FuzzOutcome run_find_prefix(const FuzzCase& c, const ExecHooks& hooks) {
   const ca::DefaultBAStack stack;
   const ba::LongBAPlus lba(stack.kit());
   Rng rng = workload_rng(c);
   std::vector<Bitstring> inputs;
   for (int i = 0; i < c.n; ++i) inputs.push_back(rng.bits(c.ell));
   return run_case<ca::FindPrefixResult>(
-      c, tr, tracer,
+      c, hooks,
       [&](net::PartyContext& ctx, int id) {
         return ca::find_prefix(ctx, lba, c.ell,
                                inputs[static_cast<std::size_t>(id)]);
@@ -458,11 +463,11 @@ std::vector<Bytes> ba_inputs(const FuzzCase& c, std::size_t value_len) {
 }
 
 template <class Proto>
-FuzzOutcome run_ba_plus_like(const FuzzCase& c, net::Transcript* tr,
-                             obs::Tracer* tracer, const Proto& proto,
+FuzzOutcome run_ba_plus_like(const FuzzCase& c, const ExecHooks& hooks,
+                             const Proto& proto,
                              const std::vector<Bytes>& inputs) {
   return run_case<ba::MaybeBytes>(
-      c, tr, tracer,
+      c, hooks,
       [&](net::PartyContext& ctx, int id) {
         return proto.run(ctx, inputs[static_cast<std::size_t>(id)]);
       },
@@ -506,16 +511,16 @@ FuzzOutcome run_ba_plus_like(const FuzzCase& c, net::Transcript* tr,
       });
 }
 
-FuzzOutcome run_ba_plus(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
+FuzzOutcome run_ba_plus(const FuzzCase& c, const ExecHooks& hooks) {
   const ca::DefaultBAStack stack;
   const ba::BAPlus proto(stack.kit());
-  return run_ba_plus_like(c, tr, tracer, proto, ba_inputs(c, 2));
+  return run_ba_plus_like(c, hooks, proto, ba_inputs(c, 2));
 }
 
-FuzzOutcome run_long_ba_plus(const FuzzCase& c, net::Transcript* tr, obs::Tracer* tracer) {
+FuzzOutcome run_long_ba_plus(const FuzzCase& c, const ExecHooks& hooks) {
   const ca::DefaultBAStack stack;
   const ba::LongBAPlus proto(stack.kit());
-  return run_ba_plus_like(c, tr, tracer, proto, ba_inputs(c, c.ell / 8 + 1));
+  return run_ba_plus_like(c, hooks, proto, ba_inputs(c, c.ell / 8 + 1));
 }
 
 // ---------------------------------------------------------------------------
@@ -691,22 +696,25 @@ const std::vector<std::string>& known_protocols() {
   return kProtocols;
 }
 
+FuzzOutcome execute_case(const FuzzCase& c, const ExecHooks& hooks) {
+  validate_case(c);
+  if (c.protocol == "PiZ") return run_pi_z(c, hooks);
+  if (c.protocol == "PiN") return run_pi_n(c, hooks);
+  if (c.protocol == "HighCostCA") return run_high_cost(c, hooks);
+  if (c.protocol == "BroadcastTrimCA") return run_broadcast_trim(c, hooks);
+  if (c.protocol == "FixedLengthCA") return run_fixed_length(c, hooks);
+  if (c.protocol == "FindPrefix") return run_find_prefix(c, hooks);
+  if (c.protocol == "BAPlus") return run_ba_plus(c, hooks);
+  if (c.protocol == "LongBAPlus") return run_long_ba_plus(c, hooks);
+  throw Error("Fuzzer: unknown protocol '" + c.protocol + "'");
+}
+
 FuzzOutcome execute_case(const FuzzCase& c, net::Transcript* transcript,
                          obs::Tracer* tracer) {
-  validate_case(c);
-  if (c.protocol == "PiZ") return run_pi_z(c, transcript, tracer);
-  if (c.protocol == "PiN") return run_pi_n(c, transcript, tracer);
-  if (c.protocol == "HighCostCA") return run_high_cost(c, transcript, tracer);
-  if (c.protocol == "BroadcastTrimCA") {
-    return run_broadcast_trim(c, transcript, tracer);
-  }
-  if (c.protocol == "FixedLengthCA") {
-    return run_fixed_length(c, transcript, tracer);
-  }
-  if (c.protocol == "FindPrefix") return run_find_prefix(c, transcript, tracer);
-  if (c.protocol == "BAPlus") return run_ba_plus(c, transcript, tracer);
-  if (c.protocol == "LongBAPlus") return run_long_ba_plus(c, transcript, tracer);
-  throw Error("Fuzzer: unknown protocol '" + c.protocol + "'");
+  ExecHooks hooks;
+  hooks.transcript = transcript;
+  hooks.tracer = tracer;
+  return execute_case(c, hooks);
 }
 
 std::string to_json(const CorpusEntry& entry) {

@@ -83,10 +83,30 @@ struct FuzzOutcome {
 /// The protocol targets the fuzzer knows how to drive.
 const std::vector<std::string>& known_protocols();
 
-/// Runs one case to its verdict. Optionally records the canonical message
-/// transcript into `transcript` and/or an observability trace into `tracer`
-/// (both must outlive the call; a fresh Tracer per case). Throws Error on a
-/// malformed case (unknown protocol, out-of-range ids, t >= n/3, ...).
+/// Structural validation of a case (ranges, disjointness, budgets); throws
+/// Error on the first problem. execute_case runs it implicitly; batch
+/// drivers (the sharded engine) call it up front so a malformed case
+/// surfaces before any worker starts.
+void validate_case(const FuzzCase& c);
+
+/// Optional observation taps for execute_case. Every pointer may be null
+/// and must outlive the call; none of them changes the execution -- the
+/// transcript and verdict are bit-identical with or without hooks.
+struct ExecHooks {
+  net::Transcript* transcript = nullptr;  // canonical message transcript
+  obs::Tracer* tracer = nullptr;          // fresh Tracer per case
+  /// Live per-round delivery stream (see net::RoundObserver). This is the
+  /// seam the sharded engine's SPSC lanes hang off: one observer per
+  /// instance, pushed from the instance's own controller context.
+  net::RoundObserver* observer = nullptr;
+};
+
+/// Runs one case to its verdict, feeding whichever hooks are set. Throws
+/// Error on a malformed case (unknown protocol, out-of-range ids,
+/// t >= n/3, ...).
+FuzzOutcome execute_case(const FuzzCase& c, const ExecHooks& hooks);
+
+/// Convenience overload: transcript and/or tracer only.
 FuzzOutcome execute_case(const FuzzCase& c,
                          net::Transcript* transcript = nullptr,
                          obs::Tracer* tracer = nullptr);

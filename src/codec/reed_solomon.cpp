@@ -82,6 +82,29 @@ bool select_shares(std::size_t n, std::size_t k, std::size_t ssize,
 // per coefficient) costs more than it saves; use the scalar reference path.
 constexpr std::size_t kWideThresholdBytes = 512;
 
+// De-interleaves the payload into the k systematic shares: share j holds
+// data symbols j, k+j, 2k+j, ... (big-endian). Symbols fully inside the
+// payload copy branch-free; the zero-padded tail goes through the
+// bounds-checked loaders. `shares` must hold >= k zero-filled buffers of
+// `ssize` bytes.
+void deinterleave_systematic(const Bytes& data, std::size_t k,
+                             std::size_t ssize, std::vector<Bytes>* shares) {
+  const std::size_t chunks = ssize / 2;
+  for (std::size_t j = 0; j < k; ++j) {
+    Bytes& share = (*shares)[j];
+    std::size_t c = 0;
+    for (; c < chunks; ++c) {
+      const std::size_t off = 2 * (c * k + j);
+      if (off + 1 >= data.size()) break;
+      share[2 * c] = data[off];
+      share[2 * c + 1] = data[off + 1];
+    }
+    for (; c < chunks; ++c) {
+      store_symbol(share, c, load_symbol(data, c * k + j));
+    }
+  }
+}
+
 }  // namespace
 
 namespace ref_ {
@@ -171,26 +194,8 @@ std::vector<Bytes> ReedSolomon::encode(const Bytes& data) const {
   if (ssize < kWideThresholdBytes) return ref_::encode(n_, k_, data);
 
   const GF16& f = GF16::instance();
-  const std::size_t chunks = ssize / 2;
   std::vector<Bytes> shares(n_, Bytes(ssize, 0));
-
-  // De-interleave the payload into the k systematic shares: share j holds
-  // data symbols j, k+j, 2k+j, ... (big-endian). Symbols fully inside the
-  // payload copy branch-free; the zero-padded tail goes through the
-  // bounds-checked loaders.
-  for (std::size_t j = 0; j < k_; ++j) {
-    Bytes& share = shares[j];
-    std::size_t c = 0;
-    for (; c < chunks; ++c) {
-      const std::size_t off = 2 * (c * k_ + j);
-      if (off + 1 >= data.size()) break;
-      share[2 * c] = data[off];
-      share[2 * c + 1] = data[off + 1];
-    }
-    for (; c < chunks; ++c) {
-      store_symbol(share, c, load_symbol(data, c * k_ + j));
-    }
-  }
+  deinterleave_systematic(data, k_, ssize, &shares);
 
   // Parity rows as whole-buffer kernel calls: row r = sum_j coef * share_j
   // -- one MulBy table build per coefficient, then a contiguous streaming
@@ -212,6 +217,50 @@ std::vector<Bytes> ReedSolomon::encode(const Bytes& data) const {
     }
   }
   return shares;
+}
+
+std::vector<std::vector<Bytes>> ReedSolomon::encode_batch(
+    std::span<const Bytes> batch) const {
+  COCA_OBS_SPAN("rs.encode", "kernel");
+  const GF16& f = GF16::instance();
+  std::vector<std::vector<Bytes>> out(batch.size());
+  std::vector<std::size_t> wide;  // payloads on the table-driven path
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::size_t ssize = share_size(batch[i].size());
+    if (ssize < kWideThresholdBytes) {
+      out[i] = ref_::encode(n_, k_, batch[i]);
+      continue;
+    }
+    out[i].assign(n_, Bytes(ssize, 0));
+    deinterleave_systematic(batch[i], k_, ssize, &out[i]);
+    wide.push_back(i);
+  }
+
+  // Same per-payload operation sequence as encode() -- ascending j, first
+  // nonzero coefficient via mul_be, the rest via axpy_be -- but with the
+  // payload loop innermost, so each (r, j) MulBy table build is shared by
+  // every wide payload in the batch. Distinct payloads touch distinct
+  // buffers, so the interleaving leaves every share bit-identical.
+  std::vector<bool> first(wide.size());
+  for (std::size_t r = 0; r + k_ < n_; ++r) {
+    first.assign(wide.size(), true);
+    for (std::size_t j = 0; j < k_; ++j) {
+      const Elem coef = parity_[r][j];
+      if (coef == 0) continue;
+      const MulBy mb(f, coef);
+      for (std::size_t w = 0; w < wide.size(); ++w) {
+        std::vector<Bytes>& shares = out[wide[w]];
+        const std::size_t ssize = shares[j].size();
+        if (first[w]) {
+          mb.mul_be(shares[k_ + r].data(), shares[j].data(), ssize);
+          first[w] = false;
+        } else {
+          mb.axpy_be(shares[k_ + r].data(), shares[j].data(), ssize);
+        }
+      }
+    }
+  }
+  return out;
 }
 
 std::optional<Bytes> ReedSolomon::decode(

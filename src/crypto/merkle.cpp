@@ -37,9 +37,7 @@ std::size_t MerkleTree::depth(std::size_t leaf_count) {
   return ceil_log2(leaf_count);
 }
 
-MerkleTree MerkleTree::build_views(
-    std::span<const std::span<const std::uint8_t>> leaves) {
-  COCA_OBS_SPAN("merkle.build", "kernel");
+MerkleTree MerkleTree::build_one(Sha256& ctx, LeafList leaves) {
   require(!leaves.empty(), "MerkleTree::build: need at least one leaf");
   MerkleTree t;
   t.leaf_count_ = leaves.size();
@@ -47,7 +45,6 @@ MerkleTree MerkleTree::build_views(
   t.nodes_.assign(2 * t.width_, Digest{});
   // One hash context for the whole build: reset between leaves instead of
   // constructing a fresh context (and padding buffer) per leaf.
-  Sha256 ctx;
   for (std::size_t i = 0; i < leaves.size(); ++i) {
     ctx.reset();
     ctx.update(std::span<const std::uint8_t>(&kLeafTag, 1));
@@ -61,6 +58,25 @@ MerkleTree MerkleTree::build_views(
     t.nodes_[i] = node_hash(t.nodes_[2 * i], t.nodes_[2 * i + 1]);
   }
   return t;
+}
+
+MerkleTree MerkleTree::build_views(
+    std::span<const std::span<const std::uint8_t>> leaves) {
+  COCA_OBS_SPAN("merkle.build", "kernel");
+  Sha256 ctx;
+  return build_one(ctx, leaves);
+}
+
+std::vector<MerkleTree> MerkleTree::build_views_batch(
+    std::span<const LeafList> batch) {
+  COCA_OBS_SPAN("merkle.build", "kernel");
+  std::vector<MerkleTree> trees;
+  trees.reserve(batch.size());
+  Sha256 ctx;
+  for (const LeafList& leaves : batch) {
+    trees.push_back(build_one(ctx, leaves));
+  }
+  return trees;
 }
 
 MerkleTree MerkleTree::build(const std::vector<Bytes>& leaves) {

@@ -1,0 +1,109 @@
+// Lock-free single-producer/single-consumer ring buffer: the per
+// (worker, instance) lane of the sharded engine.
+//
+// Replaces the merge-under-lock outbox handoff: each instance's worker is
+// the lane's only producer and the engine's collector thread its only
+// consumer, so a bounded ring with two monotonically increasing cursors
+// needs no locks at all. The producer owns `tail_` (next slot to fill),
+// the consumer owns `head_` (next slot to drain); each side only *reads*
+// the other's cursor. Release/acquire pairs on the cursors order the slot
+// contents: a consumer that observes tail_ > head also observes every byte
+// the producer wrote into the slots in between.
+//
+// Cursors are free-running 64-bit counters (never wrapped); slot index is
+// cursor & mask with a power-of-two capacity. At the engine's round
+// granularity a cursor cannot overflow in any physical run.
+//
+// COCA_CANARY_BUG deliberately publishes `tail_` *before* the slot write --
+// a real data race on the slot bytes -- so the TSan CI lane can prove it
+// watches this structure (plain builds still pass count-only assertions:
+// the race corrupts values, not the cursor arithmetic).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/common.h"
+
+namespace coca::engine {
+
+template <class T>
+class SpscRing {
+ public:
+  /// Ring with room for at least `min_capacity` elements (rounded up to a
+  /// power of two for mask indexing). Requires min_capacity >= 1.
+  explicit SpscRing(std::size_t min_capacity) {
+    require(min_capacity >= 1, "SpscRing: need capacity >= 1");
+    std::size_t cap = 1;
+    while (cap < min_capacity) cap *= 2;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side: enqueues `v`, or returns false when the ring is full.
+  bool try_push(T v) {
+    const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+    if (t - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+#ifdef COCA_CANARY_BUG
+    // Canary: publish the slot before filling it. The consumer may now read
+    // the slot while this thread writes it -- the data race TSan must flag.
+    // Relaxed on purpose (a release would hand the consumer a happens-before
+    // edge for free), and the signal fence pins the store order against the
+    // compiler: release/relaxed stores are one-way barriers, so without it
+    // the compiler may sink the slot write above the publish and silently
+    // un-plant the bug.
+    tail_.store(t + 1, std::memory_order_relaxed);
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+    slots_[t & mask_] = std::move(v);
+#else
+    slots_[t & mask_] = std::move(v);
+    tail_.store(t + 1, std::memory_order_release);
+#endif
+    return true;
+  }
+
+  /// Producer side: enqueues `v`, yielding while the ring is full. The
+  /// consumer must be live (the engine's collector always is).
+  void push(T v) {
+    while (!try_push(std::move(v))) {
+      std::this_thread::yield();
+    }
+  }
+
+  /// Consumer side: dequeues the oldest element, or nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::uint64_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return std::nullopt;
+    std::optional<T> v(std::move(slots_[h & mask_]));
+    head_.store(h + 1, std::memory_order_release);
+    return v;
+  }
+
+  /// Consumer-side size estimate (exact when the producer is quiescent).
+  std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Separate cache lines: each cursor is written by exactly one side; the
+  // padding keeps producer stores from invalidating the consumer's line.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // produced count
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumed count
+};
+
+}  // namespace coca::engine

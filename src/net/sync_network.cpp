@@ -218,6 +218,7 @@ struct SyncNetwork::Impl {
   ucontext_t controller_ctx = {};
   ExecPolicy policy;                 // default: auto (COCA_THREADS / serial)
   Transcript* transcript = nullptr;  // optional recording sink
+  RoundObserver* round_observer = nullptr;  // optional per-round hook
 
   // ---- Observability (null tracer = every hook below is one branch).
   obs::Tracer* tracer = nullptr;
@@ -385,6 +386,9 @@ struct SyncNetwork::Impl {
     if (tracer != nullptr) {
       // The innermost open engine span is this round's span.
       tracer->charge(obs_engine_track, round_honest_bytes, round_honest_msgs);
+    }
+    if (round_observer != nullptr) {
+      round_observer->on_round(round, round_honest_bytes, round_honest_msgs);
     }
     // Environment link faults sit *below* the adversary: cut traffic
     // vanishes before the rushing adversary observes the round and before
@@ -680,6 +684,10 @@ void SyncNetwork::set_exec_policy(ExecPolicy policy) {
 
 void SyncNetwork::set_transcript(Transcript* sink) {
   impl_->transcript = sink;
+}
+
+void SyncNetwork::set_round_observer(RoundObserver* observer) {
+  impl_->round_observer = observer;
 }
 
 void SyncNetwork::set_fault_plan(FaultPlan plan) {

@@ -244,6 +244,27 @@ class SendTap {
   }
 };
 
+/// Per-round delivery hook: called by the engine once per delivered round,
+/// from the controller's execution context, immediately after the round's
+/// runner-local outboxes were merged in canonical order (and before the
+/// next round slice is released). `honest_bytes`/`honest_messages` are the
+/// staged honest traffic of that round -- the same values the Transcript
+/// records -- so an observer can stream live per-round cost without owning
+/// the full transcript. The trailing leftover flush (sends staged after the
+/// last advance()) is transcript-only bookkeeping and is not reported here;
+/// authoritative totals come from RunStats.
+///
+/// Implementations must not touch the network and must not block on
+/// anything fed by this same controller thread (in the OS-thread backend
+/// the hook runs with the barrier mutex held). Lock-free handoff -- e.g. an
+/// SPSC ring drained by another thread -- is the intended shape.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+  virtual void on_round(std::size_t round, std::uint64_t honest_bytes,
+                        std::uint64_t honest_messages) = 0;
+};
+
 /// Aggregated cost of one protocol execution.
 struct RunStats {
   std::size_t rounds = 0;
@@ -332,6 +353,11 @@ class SyncNetwork {
   /// Records every delivered round into `sink` during run(); pass nullptr
   /// to disable. The sink must outlive run().
   void set_transcript(Transcript* sink);
+
+  /// Installs a per-round delivery hook (see RoundObserver); pass nullptr
+  /// to disable (the default -- the delivery path is bit-identical either
+  /// way). The observer must outlive run().
+  void set_round_observer(RoundObserver* observer);
 
   /// Attaches an observability tracer (see obs/obs.h): the engine opens a
   /// span around every round (on an "engine" track) and every party slice

@@ -212,6 +212,14 @@ std::vector<Tracer::CatRollup> Tracer::rollup_by_cat() const {
   return out;
 }
 
+MetricsRegistry merged_metrics_over(std::span<const Tracer* const> tracers) {
+  MetricsRegistry merged;
+  for (const Tracer* tracer : tracers) {
+    if (tracer != nullptr) merged.merge(tracer->merged_metrics());
+  }
+  return merged;
+}
+
 ThreadScope& thread_scope() {
   thread_local ThreadScope scope;
   return scope;

@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -173,6 +174,12 @@ class Tracer {
   // touched during pre-run registration.
   std::vector<std::unique_ptr<Track>> tracks_;
 };
+
+/// Merged metrics across many tracers (deterministic: tracers merge in
+/// list order, each contributing its own merged_metrics()). The sharded
+/// engine uses this to fold per-instance tracers into one aggregate
+/// registry in canonical instance order; null entries are skipped.
+MetricsRegistry merged_metrics_over(std::span<const Tracer* const> tracers);
 
 /// Thread-local tracing scope: which tracer/track (if any) the *current
 /// thread's* protocol code should attribute kernel spans to. The round

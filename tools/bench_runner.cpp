@@ -32,6 +32,7 @@
 
 #include "adversary/degradation.h"
 #include "adversary/fuzzer.h"
+#include "engine/engine.h"
 #include "ca/broadcast_ca.h"
 #include "ca/driver.h"
 #include "net/sync_network.h"
@@ -161,6 +162,58 @@ FaultResult run_fault_entry(const FaultEntry& e, int reps) {
   return out;
 }
 
+/// Instance-sharded engine throughput rows (full runs only): the same K
+/// honest PiZ cases pushed through engine::Engine at each worker count.
+/// Honest bits and rounds are schedule-independent (the engine's headline
+/// invariant), so only `seconds` may move between the rows -- a cheap
+/// cross-commit tripwire for both throughput and determinism.
+struct ThroughputResult {
+  int workers = 0;
+  int instances = 0;
+  double seconds = 0;
+  std::uint64_t honest_bits = 0;
+  std::uint64_t rounds = 0;
+};
+
+std::vector<ThroughputResult> run_throughput_matrix(int reps) {
+  constexpr int kInstances = 16;
+  std::vector<adv::FuzzCase> cases;
+  for (int i = 0; i < kInstances; ++i) {
+    adv::FuzzCase c;
+    c.protocol = "PiZ";
+    c.n = 7;
+    c.t = 2;
+    c.ell = std::size_t{1} << 14;
+    c.input_seed = 0x7B06 + static_cast<std::uint64_t>(i);
+    c.threads = 1;
+    cases.push_back(std::move(c));
+  }
+  std::vector<ThroughputResult> rows;
+  for (const int workers : {1, 8}) {
+    ThroughputResult row;
+    row.workers = workers;
+    row.instances = kInstances;
+    row.seconds = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+      engine::EngineOptions opt;
+      opt.workers = workers;
+      opt.record_transcripts = false;
+      const engine::EngineReport report = engine::Engine(opt).run(cases);
+      if (report.seconds < row.seconds) row.seconds = report.seconds;
+      row.honest_bits = report.honest_bytes * 8;
+      row.rounds = report.rounds;
+    }
+    if (!rows.empty() && (rows.front().honest_bits != row.honest_bits ||
+                          rows.front().rounds != row.rounds)) {
+      throw Error(
+          "bench_runner: engine throughput rows disagree on honest bits or "
+          "rounds across worker counts (determinism breach)");
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 struct Result {
   Entry entry;
   double seconds = 0;
@@ -243,6 +296,7 @@ bool zero_copy_probe(std::string* detail) {
 
 void write_json(std::ostream& os, const std::vector<Result>& results,
                 const std::vector<FaultResult>& fault_results,
+                const std::vector<ThroughputResult>& throughput_results,
                 const std::string& baseline_text, bool smoke) {
   os << "{\n";
   os << "  \"schema\": \"coca-bench-v1\",\n";
@@ -292,6 +346,28 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
           max_t(r.entry.n), static_cast<unsigned long long>(r.entry.seed),
           r.seconds, static_cast<unsigned long long>(r.honest_bits), r.rounds,
           i + 1 < fault_results.size() ? ",\n" : "\n");
+      os << buf;
+    }
+    os << "  ]";
+  }
+  if (!throughput_results.empty()) {
+    os << ",\n  \"throughput_entries\": [\n";
+    for (std::size_t i = 0; i < throughput_results.size(); ++i) {
+      const ThroughputResult& r = throughput_results[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"bench\": \"throughput\", \"protocol\": \"PiZ\", "
+          "\"n\": 7, \"t\": 2, \"ell_bits\": %zu, \"instances\": %d, "
+          "\"workers\": %d, \"seconds\": %.6f, "
+          "\"instances_per_sec\": %.3f, \"honest_bits\": %llu, "
+          "\"honest_bits_per_sec\": %.0f, \"rounds\": %llu}%s",
+          std::size_t{1} << 14, r.instances, r.workers, r.seconds,
+          r.instances / r.seconds,
+          static_cast<unsigned long long>(r.honest_bits),
+          static_cast<double>(r.honest_bits) / r.seconds,
+          static_cast<unsigned long long>(r.rounds),
+          i + 1 < throughput_results.size() ? ",\n" : "\n");
       os << buf;
     }
     os << "  ]";
@@ -375,7 +451,20 @@ int main(int argc, char** argv) {
   }
 
   std::vector<FaultResult> fault_results;
+  std::vector<ThroughputResult> throughput_results;
   if (!smoke) {
+    try {
+      throughput_results = run_throughput_matrix(reps);
+    } catch (const std::exception& ex) {
+      std::cerr << "bench_runner: " << ex.what() << "\n";
+      return 1;
+    }
+    for (const ThroughputResult& r : throughput_results) {
+      std::cerr << "throughput PiZ n=7 K=" << r.instances
+                << " workers=" << r.workers << ": " << r.seconds << "s, "
+                << r.instances / r.seconds << " instances/sec, "
+                << r.honest_bits << " honest bits\n";
+    }
     for (const FaultEntry& e : fault_matrix()) {
       try {
         fault_results.push_back(run_fault_entry(e, reps));
@@ -392,14 +481,16 @@ int main(int argc, char** argv) {
   }
 
   if (out_path.empty()) {
-    write_json(std::cout, results, fault_results, baseline_text, smoke);
+    write_json(std::cout, results, fault_results, throughput_results,
+               baseline_text, smoke);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "bench_runner: cannot write " << out_path << "\n";
       return 1;
     }
-    write_json(out, results, fault_results, baseline_text, smoke);
+    write_json(out, results, fault_results, throughput_results, baseline_text,
+               smoke);
   }
   return status;
 }

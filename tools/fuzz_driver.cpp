@@ -6,9 +6,15 @@
 //   fuzz_driver --replay tests/corpus/x.json    # deterministic re-execution
 //   fuzz_driver --expect-violation ...          # CI canary: fail unless the
 //                                               # oracle catches something
+//   fuzz_driver --sharded ...                   # run every case as the
+//                                               # victim inside a sharded
+//                                               # engine; the oracle also
+//                                               # checks neighbor isolation
 //
 // Exit status: 0 = verdict matches expectation (clean sweep, or a violation
 // under --expect-violation), 1 = it does not, 2 = usage error.
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -16,7 +22,9 @@
 #include <vector>
 
 #include "adversary/fuzzer.h"
+#include "engine/engine.h"
 #include "obs/adapt.h"
+#include "util/rng.h"
 #include "obs/export.h"
 #include "obs/obs.h"
 
@@ -44,6 +52,11 @@ using coca::adv::FuzzerOptions;
       "                       the counterexample's execution\n"
       "  --replay FILE        re-execute one corpus entry instead of searching\n"
       "  --expect-violation   invert the exit status (canary runs must fail)\n"
+      "  --sharded            run each case as the victim instance inside a\n"
+      "                       sharded engine (engine::check_isolation): the\n"
+      "                       oracle additionally requires every honest\n"
+      "                       neighbor instance to be bit-identical to its\n"
+      "                       solo run (works with --replay too)\n"
       "  --list               print the known protocol targets\n";
   std::exit(2);
 }
@@ -63,7 +76,8 @@ std::string arg_value(int argc, char** argv, int& i, const std::string& flag) {
   return argv[++i];
 }
 
-int replay(const std::string& path, int threads_override, bool has_threads) {
+int replay(const std::string& path, int threads_override, bool has_threads,
+           bool sharded) {
   std::ifstream in(path);
   if (!in) {
     std::cerr << "fuzz_driver: cannot open " << path << "\n";
@@ -73,6 +87,24 @@ int replay(const std::string& path, int threads_override, bool has_threads) {
   buf << in.rdbuf();
   CorpusEntry entry = coca::adv::corpus_entry_from_json(buf.str());
   if (has_threads) entry.c.threads = threads_override;
+  if (sharded) {
+    const coca::engine::IsolationReport report =
+        coca::engine::check_isolation(entry.c, coca::engine::ShardedCaseOptions{});
+    std::cout << "replay (sharded) " << path << " (" << entry.c.protocol
+              << ", n=" << entry.c.n << ", seed=" << entry.c.mutation.seed
+              << ")\n";
+    for (const auto& v : report.victim.violations) {
+      std::cout << "  violation: " << v << "\n";
+    }
+    for (const auto& v : report.violations) {
+      std::cout << "  isolation breach: " << v << "\n";
+    }
+    if (report.victim.ok() && report.ok()) {
+      std::cout << "  oracle: victim invariants hold, neighbors untouched\n";
+      return 0;
+    }
+    return 1;
+  }
   const auto outcome = coca::adv::execute_case(entry.c);
   std::cout << "replay " << path << " (" << entry.c.protocol
             << ", n=" << entry.c.n << ", seed=" << entry.c.mutation.seed
@@ -89,6 +121,62 @@ int replay(const std::string& path, int threads_override, bool has_threads) {
   return 1;
 }
 
+/// The sharded-engine search target: every drawn case becomes the victim of
+/// an engine::check_isolation run. Only cross-instance leaks count as
+/// violations here -- the victim's own oracle verdict is the plain target's
+/// job -- so a breach means the engine let a byzantine instance perturb an
+/// honest neighbor.
+int run_sharded_search(const FuzzerOptions& options,
+                       const std::string& corpus_out, bool expect_violation) {
+  coca::adv::Fuzzer fuzzer(options);
+  coca::engine::ShardedCaseOptions shard;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(options.budget_sec);
+  std::size_t executed = 0;
+  std::size_t breaches = 0;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (options.max_cases == 0 || executed < options.max_cases)) {
+    coca::adv::FuzzCase c = fuzzer.next_case();
+    // Sharded runs multiply each case by the neighbor count; keep the
+    // payload scale bounded so the sweep stays a search, not a bench.
+    c.ell = std::min<std::size_t>(c.ell, 256);
+    shard.neighbor_seed =
+        coca::Rng::derive_stream_seed(options.seed, 0x5A4DULL + executed);
+    const coca::engine::IsolationReport report =
+        coca::engine::check_isolation(c, shard);
+    ++executed;
+    if (report.ok()) continue;
+    ++breaches;
+    std::cout << "isolation breach (" << c.protocol << ", n=" << c.n
+              << ", mutation seed=" << c.mutation.seed << "):\n";
+    for (const auto& v : report.violations) {
+      std::cout << "  " << v << "\n";
+    }
+    if (!corpus_out.empty()) {
+      CorpusEntry entry;
+      entry.c = c;
+      entry.violations = report.violations;
+      entry.note = "sharded-engine isolation victim";
+      const std::string path = corpus_out + "/sharded-" + c.protocol + "-" +
+                               std::to_string(c.mutation.seed) + ".json";
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "fuzz_driver: cannot write " << path << "\n";
+        return 2;
+      }
+      out << coca::adv::to_json(entry);
+      std::cout << "  wrote " << path << "\n";
+    }
+  }
+  std::cout << "executed " << executed << " sharded cases, " << breaches
+            << " isolation breaches\n";
+  if (breaches == 0) {
+    std::cout << "no violations: every neighbor matched its solo run\n";
+  }
+  const bool violated = breaches != 0;
+  return expect_violation ? (violated ? 0 : 1) : (violated ? 1 : 0);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,6 +186,7 @@ int main(int argc, char** argv) {
   std::string replay_path;
   bool expect_violation = false;
   bool has_threads = false;
+  bool sharded = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -128,6 +217,8 @@ int main(int argc, char** argv) {
         replay_path = arg_value(argc, argv, i, arg);
       } else if (arg == "--expect-violation") {
         expect_violation = true;
+      } else if (arg == "--sharded") {
+        sharded = true;
       } else if (arg == "--list") {
         for (const auto& p : coca::adv::known_protocols()) {
           std::cout << p << "\n";
@@ -147,9 +238,14 @@ int main(int argc, char** argv) {
 
   try {
     if (!replay_path.empty()) {
-      const int status = replay(replay_path, options.threads, has_threads);
+      const int status =
+          replay(replay_path, options.threads, has_threads, sharded);
       if (status == 2) return 2;
       return expect_violation ? (status == 1 ? 0 : 1) : status;
+    }
+
+    if (sharded) {
+      return run_sharded_search(options, corpus_out, expect_violation);
     }
 
     coca::adv::Fuzzer fuzzer(options);
