@@ -148,6 +148,7 @@ FuzzOutcome run_case(
   if (hooks.transcript != nullptr) net.set_transcript(hooks.transcript);
   if (hooks.tracer != nullptr) net.set_tracer(hooks.tracer);
   if (hooks.observer != nullptr) net.set_round_observer(hooks.observer);
+  if (hooks.router != nullptr) net.set_round_router(hooks.router);
   std::vector<std::optional<Out>> outputs(static_cast<std::size_t>(c.n));
   for (int id = 0; id < c.n; ++id) {
     if (is_corrupted(c, id)) {

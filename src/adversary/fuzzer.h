@@ -99,6 +99,13 @@ struct ExecHooks {
   /// seam the sharded engine's SPSC lanes hang off: one observer per
   /// instance, pushed from the instance's own controller context.
   net::RoundObserver* observer = nullptr;
+  /// Round transport (see net::RoundRouter). Unlike the taps above this
+  /// *does* change where bytes travel -- every delivered round crosses the
+  /// router's wire -- but not what they are: the conformance suite pins
+  /// routed executions bit-identical to in-process ones. This is how the
+  /// service runtime (src/svc) lifts all 8 protocols, the fuzzer's
+  /// SendTaps, and FaultPlans onto real sockets without touching them.
+  net::RoundRouter* router = nullptr;
 };
 
 /// Runs one case to its verdict, feeding whichever hooks are set. Throws

@@ -41,9 +41,14 @@ class ReedSolomon {
   /// Cross-instance RS.ENCODE: one share vector per payload, each
   /// bit-identical to encode() on that payload alone. Payloads route
   /// independently through the small-buffer reference path or the wide
-  /// table-driven path by their own share size; the wide payloads share one
-  /// MulBy table build per parity coefficient across the whole batch, under
-  /// a single obs span.
+  /// table-driven path by their own share size; all wide parity work is
+  /// flushed as one axpy_be_batch job list -- one MulBy table build per
+  /// distinct parity coefficient across the whole batch -- under a single
+  /// obs span. The pointer form batches scattered payloads (e.g. parked on
+  /// different fiber stacks) without gathering them; pointers must be
+  /// non-null and stay valid for the call.
+  std::vector<std::vector<Bytes>> encode_batch(
+      std::span<const Bytes* const> batch) const;
   std::vector<std::vector<Bytes>> encode_batch(
       std::span<const Bytes> batch) const;
 

@@ -1,6 +1,7 @@
 #include "crypto/merkle.h"
 
 #include "obs/obs.h"
+#include "util/kernel_gate.h"
 
 namespace coca::crypto {
 
@@ -62,6 +63,12 @@ MerkleTree MerkleTree::build_one(Sha256& ctx, LeafList leaves) {
 
 MerkleTree MerkleTree::build_views(
     std::span<const std::span<const std::uint8_t>> leaves) {
+  // Co-scheduler seam: see util/kernel_gate.h. The gate may park this
+  // instance and run the build via build_views_batch (bit-identical).
+  if (KernelGate* g = thread_kernel_gate(); g != nullptr) {
+    MerkleTree t;
+    if (g->merkle_build(leaves, &t)) return t;
+  }
   COCA_OBS_SPAN("merkle.build", "kernel");
   Sha256 ctx;
   return build_one(ctx, leaves);

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <thread>
 
+#include "engine/kernel_batch.h"
 #include "engine/spsc_ring.h"
+#include "net/sync_network.h"
 #include "util/rng.h"
 
 namespace coca::engine {
@@ -79,14 +81,20 @@ EngineReport Engine::run(const std::vector<adv::FuzzCase>& cases) {
 
   const auto t0 = std::chrono::steady_clock::now();
 
-  // Workers: instance i runs on worker i % W, each worker sequentially.
-  // All of an instance's protocol work happens on its worker via its own
-  // private SyncNetwork; the only cross-thread traffic is the lane.
+  // Workers: instance i runs on worker i % W. All of an instance's
+  // protocol work happens on its worker via its own private SyncNetwork;
+  // the only cross-thread traffic is the lane. A worker holding several
+  // instances either runs them sequentially or -- when kernel batching is
+  // on -- as cooperative fibers whose RS/Merkle kernels flush through the
+  // batch entry points (bit-identical outputs either way).
+  const bool batch = options_.batch_kernels && !options_.trace &&
+                     net::fibers_available();
+  std::vector<KernelBatchStats> batch_stats(workers);
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (std::size_t wi = 0; wi < workers; ++wi) {
     pool.emplace_back([&, wi]() {
-      for (std::size_t i = wi; i < kk; i += workers) {
+      const auto run_one = [&](std::size_t i) {
         InstanceResult& res = report.instances[i];
         res.worker = static_cast<int>(wi);
         LaneObserver observer(lanes[i].get(), static_cast<std::uint32_t>(i));
@@ -104,6 +112,18 @@ EngineReport Engine::run(const std::vector<adv::FuzzCase>& cases) {
               std::string("crash: engine worker: ") + e.what());
         }
         observer.finish();
+      };
+      std::vector<std::size_t> mine;
+      for (std::size_t i = wi; i < kk; i += workers) mine.push_back(i);
+      if (batch && mine.size() > 1) {
+        std::vector<std::function<void()>> work;
+        work.reserve(mine.size());
+        for (const std::size_t i : mine) {
+          work.push_back([&run_one, i] { run_one(i); });
+        }
+        batch_stats[wi] = run_batched(std::move(work));
+      } else {
+        for (const std::size_t i : mine) run_one(i);
       }
     });
   }
@@ -133,6 +153,7 @@ EngineReport Engine::run(const std::vector<adv::FuzzCase>& cases) {
     if (idle) std::this_thread::yield();
   }
   for (std::thread& th : pool) th.join();
+  for (const KernelBatchStats& s : batch_stats) report.kernel_batch += s;
 
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "adversary/fuzzer.h"
+#include "engine/kernel_batch.h"
 #include "obs/obs.h"
 
 namespace coca::engine {
@@ -46,6 +47,14 @@ struct EngineOptions {
   /// Attach a per-instance canonical-mode Tracer (timing off) and fold the
   /// registries into EngineReport::metrics in instance order.
   bool trace = false;
+  /// Batch compute kernels across the instances sharing a worker: run them
+  /// as cooperative fibers (engine/kernel_batch.h) so concurrent RS
+  /// encodes and Merkle builds execute through `encode_batch` /
+  /// `build_views_batch` -- bit-identical outputs, amortized kernel setup.
+  /// Takes effect only when a worker holds > 1 instance, tracing is off
+  /// (batching collapses per-call spans into per-flush spans), and ucontext
+  /// fibers are available; otherwise instances run plain sequentially.
+  bool batch_kernels = true;
 };
 
 /// One delivered round, streamed over an instance's lane while the
@@ -82,6 +91,9 @@ struct EngineReport {
   std::vector<std::uint64_t> honest_bytes_by_round;
   /// Folded per-instance metrics in instance order (empty unless trace).
   obs::MetricsRegistry metrics;
+  /// Summed over workers: what the kernel batcher actually served. All
+  /// zero when batching was off or never took effect.
+  KernelBatchStats kernel_batch;
   double seconds = 0.0;  // wall clock, the only schedule-dependent field
 };
 

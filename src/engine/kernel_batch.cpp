@@ -1,0 +1,258 @@
+#include "engine/kernel_batch.h"
+
+#include <sys/mman.h>
+#include <ucontext.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "codec/reed_solomon.h"
+#include "crypto/merkle.h"
+#include "net/payload.h"
+#include "obs/obs.h"
+#include "util/common.h"
+#include "util/kernel_gate.h"
+
+namespace coca::engine {
+
+namespace {
+
+/// mmap-backed fiber stack with a PROT_NONE guard page at the low end
+/// (same shape as SyncNetwork's party stacks). The instance fiber hosts
+/// execute_case and the instance's SyncNetwork *controller*; the parties
+/// get their own stacks from SyncNetwork as usual.
+class Stack {
+ public:
+  static constexpr std::size_t kSize = std::size_t{1} << 20;  // 1 MiB
+
+  Stack() {
+    page_ = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+    base_ = ::mmap(nullptr, kSize + page_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    ensure(base_ != MAP_FAILED, "kernel batcher: fiber stack mmap failed");
+    ::mprotect(base_, page_, PROT_NONE);
+  }
+  ~Stack() { ::munmap(base_, kSize + page_); }
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  void* sp() { return static_cast<std::uint8_t*>(base_) + page_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t page_ = 0;
+};
+
+struct RsRequest {
+  std::size_t n = 0;
+  std::size_t k = 0;
+  const Bytes* data = nullptr;       // on the parked caller's stack/heap
+  std::vector<Bytes>* out = nullptr;
+};
+
+struct MerkleRequest {
+  crypto::MerkleTree::LeafList leaves;  // views kept alive by the park
+  crypto::MerkleTree* out = nullptr;
+};
+
+class Batcher final : public KernelGate {
+ public:
+  explicit Batcher(std::vector<std::function<void()>> work) {
+    insts_.reserve(work.size());
+    for (std::function<void()>& fn : work) {
+      auto in = std::make_unique<Inst>();
+      in->fn = std::move(fn);
+      in->self = this;
+      insts_.push_back(std::move(in));
+    }
+  }
+
+  KernelBatchStats run() {
+    const std::uint64_t base_copies = net::PayloadMetrics::thread_copies();
+    const std::uint64_t base_bytes =
+        net::PayloadMetrics::thread_bytes_copied();
+    const obs::ThreadScope base_scope = obs::thread_scope();
+    KernelGateScope gate(this);
+    std::size_t finished = 0;
+    while (finished < insts_.size()) {
+      // Sweep in instance order: every runnable instance runs until it
+      // parks at a kernel call or finishes. Deterministic resume order
+      // keeps wall-clock schedules reproducible (outputs don't depend on
+      // it either way).
+      for (const std::unique_ptr<Inst>& ip : insts_) {
+        Inst& in = *ip;
+        if (in.done || in.rs.has_value() || in.merkle.has_value()) continue;
+        resume(in);
+        if (in.done) ++finished;
+      }
+      if (finished < insts_.size()) {
+        const bool served = flush();
+        ensure(served, "kernel batcher: live instance with no request");
+      }
+    }
+    // The per-thread PayloadMetrics pair was virtualized per instance
+    // (each started from 0); leave the thread counters where an
+    // uninterleaved sequential run would have: base + everything copied.
+    std::uint64_t total_copies = 0;
+    std::uint64_t total_bytes = 0;
+    for (const std::unique_ptr<Inst>& ip : insts_) {
+      total_copies += ip->copies;
+      total_bytes += ip->bytes_copied;
+    }
+    net::PayloadMetrics::thread_set(base_copies + total_copies,
+                                    base_bytes + total_bytes);
+    obs::thread_scope() = base_scope;
+    return stats_;
+  }
+
+  // KernelGate: record the request on the calling instance and park. The
+  // scheduler fills *out from a batch flush before resuming, so returning
+  // true here is always correct.
+  bool rs_encode(std::size_t n, std::size_t k, const Bytes& data,
+                 std::vector<Bytes>* out) override {
+    Inst& in = *current_;
+    in.rs = RsRequest{n, k, &data, out};
+    yield(in);
+    return true;
+  }
+
+  bool merkle_build(std::span<const std::span<const std::uint8_t>> leaves,
+                    crypto::MerkleTree* out) override {
+    Inst& in = *current_;
+    in.merkle = MerkleRequest{leaves, out};
+    yield(in);
+    return true;
+  }
+
+ private:
+  struct Inst {
+    std::function<void()> fn;
+    Batcher* self = nullptr;
+    Stack stack;
+    ucontext_t ctx{};  // entry point before start; park point after
+    bool started = false;
+    bool done = false;
+    std::optional<RsRequest> rs;
+    std::optional<MerkleRequest> merkle;
+    // Virtualized per-thread PayloadMetrics pair: this instance's view of
+    // the thread counters, saved at park and reinstalled at resume.
+    std::uint64_t copies = 0;
+    std::uint64_t bytes_copied = 0;
+    // Virtualized obs::thread_scope(): a park can land mid-party-slice
+    // while the instance's SyncNetwork has a tracing scope installed;
+    // without save/restore the next instance would inherit (and clobber)
+    // it. Starts null: an instance begins outside any span scope.
+    obs::ThreadScope scope;
+  };
+
+  static void trampoline(unsigned int hi, unsigned int lo) {
+    auto* in = reinterpret_cast<Inst*>(
+        (static_cast<std::uintptr_t>(hi) << 32) |
+        static_cast<std::uintptr_t>(lo));
+    in->fn();
+    in->done = true;
+    in->self->yield(*in);  // never resumed
+  }
+
+  /// Suspend the current instance back to the scheduler. Runs on the
+  /// instance's stack -- possibly a party-fiber stack nested inside its
+  /// SyncNetwork, which is fine: the scheduler context lives on the
+  /// worker's native stack, which hosts nothing else while instances run.
+  void yield(Inst& in) {
+    in.copies = net::PayloadMetrics::thread_copies();
+    in.bytes_copied = net::PayloadMetrics::thread_bytes_copied();
+    in.scope = obs::thread_scope();
+    obs::thread_scope() = obs::ThreadScope{};
+    ::swapcontext(&in.ctx, &sched_);
+  }
+
+  void resume(Inst& in) {
+    if (!in.started) {
+      in.started = true;
+      ensure(::getcontext(&in.ctx) == 0, "kernel batcher: getcontext");
+      in.ctx.uc_stack.ss_sp = in.stack.sp();
+      in.ctx.uc_stack.ss_size = Stack::kSize;
+      in.ctx.uc_link = nullptr;
+      const auto p = reinterpret_cast<std::uintptr_t>(&in);
+      ::makecontext(&in.ctx, reinterpret_cast<void (*)()>(&trampoline), 2,
+                    static_cast<unsigned int>(p >> 32),
+                    static_cast<unsigned int>(p & 0xFFFFFFFFu));
+    }
+    current_ = &in;
+    net::PayloadMetrics::thread_set(in.copies, in.bytes_copied);
+    obs::thread_scope() = in.scope;
+    ::swapcontext(&sched_, &in.ctx);
+    current_ = nullptr;
+  }
+
+  /// Execute every parked request through the batch kernels and clear the
+  /// requests (owners become runnable). Returns false if nothing was
+  /// pending.
+  bool flush() {
+    KernelGateScope off(nullptr);  // batch kernels run inline, no re-entry
+    std::map<std::pair<std::size_t, std::size_t>, std::vector<Inst*>> rs;
+    std::vector<Inst*> merkle;
+    for (const std::unique_ptr<Inst>& ip : insts_) {
+      if (ip->rs.has_value()) {
+        rs[{ip->rs->n, ip->rs->k}].push_back(ip.get());
+      } else if (ip->merkle.has_value()) {
+        merkle.push_back(ip.get());
+      }
+    }
+    if (rs.empty() && merkle.empty()) return false;
+    ++stats_.flushes;
+    for (auto& [nk, group] : rs) {
+      auto it = codecs_.find(nk);
+      if (it == codecs_.end()) {
+        it = codecs_
+                 .try_emplace(nk, std::make_unique<codec::ReedSolomon>(
+                                      nk.first, nk.second))
+                 .first;
+      }
+      std::vector<const Bytes*> ptrs;
+      ptrs.reserve(group.size());
+      for (Inst* in : group) ptrs.push_back(in->rs->data);
+      std::vector<std::vector<Bytes>> outs = it->second->encode_batch(
+          std::span<const Bytes* const>(ptrs));
+      for (std::size_t j = 0; j < group.size(); ++j) {
+        *group[j]->rs->out = std::move(outs[j]);
+        group[j]->rs.reset();
+        ++stats_.rs_calls;
+      }
+    }
+    if (!merkle.empty()) {
+      std::vector<crypto::MerkleTree::LeafList> lists;
+      lists.reserve(merkle.size());
+      for (Inst* in : merkle) lists.push_back(in->merkle->leaves);
+      std::vector<crypto::MerkleTree> trees =
+          crypto::MerkleTree::build_views_batch(lists);
+      for (std::size_t j = 0; j < merkle.size(); ++j) {
+        *merkle[j]->merkle->out = std::move(trees[j]);
+        merkle[j]->merkle.reset();
+        ++stats_.merkle_calls;
+      }
+    }
+    return true;
+  }
+
+  std::vector<std::unique_ptr<Inst>> insts_;
+  std::map<std::pair<std::size_t, std::size_t>,
+           std::unique_ptr<codec::ReedSolomon>>
+      codecs_;
+  ucontext_t sched_{};
+  Inst* current_ = nullptr;
+  KernelBatchStats stats_;
+};
+
+}  // namespace
+
+KernelBatchStats run_batched(std::vector<std::function<void()>> work) {
+  Batcher batcher(std::move(work));
+  return batcher.run();
+}
+
+}  // namespace coca::engine

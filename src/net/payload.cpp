@@ -36,6 +36,12 @@ std::uint64_t PayloadMetrics::thread_copies() { return t_copies; }
 
 std::uint64_t PayloadMetrics::thread_bytes_copied() { return t_bytes_copied; }
 
+void PayloadMetrics::thread_set(std::uint64_t copies,
+                                std::uint64_t bytes_copied) {
+  t_copies = copies;
+  t_bytes_copied = bytes_copied;
+}
+
 Payload Payload::copy_of(const Bytes& bytes) {
   count_copy(bytes.size());
   return Payload(Bytes(bytes));

@@ -88,6 +88,8 @@ bool fibers_enabled() {
 
 }  // namespace
 
+bool fibers_available() { return fibers_enabled(); }
+
 std::vector<Envelope> first_per_sender(const std::vector<Envelope>& inbox) {
   // View copies only (refcount bumps); the rvalue overload does the work.
   return first_per_sender(std::vector<Envelope>(inbox));
@@ -219,6 +221,8 @@ struct SyncNetwork::Impl {
   ExecPolicy policy;                 // default: auto (COCA_THREADS / serial)
   Transcript* transcript = nullptr;  // optional recording sink
   RoundObserver* round_observer = nullptr;  // optional per-round hook
+  RoundRouter* router = nullptr;            // optional round transport
+  std::string transport_error;              // reason of a router failure
 
   // ---- Observability (null tracer = every hook below is one branch).
   obs::Tracer* tracer = nullptr;
@@ -376,10 +380,49 @@ struct SyncNetwork::Impl {
     }
   }
 
+  /// Carries the canonically sorted `wire` across the installed
+  /// RoundRouter (no-op without one). The transcript and the inboxes
+  /// consume the payloads the transport returned, so a daemon that
+  /// corrupts bytes surfaces as a transcript mismatch in the conformance
+  /// suite. Returns false on transport failure (`transport_error` set);
+  /// addressing/order mismatches are treated as transport failures too,
+  /// keeping run_report()'s never-throws contract against a buggy daemon.
+  bool route_wire(std::size_t round) {
+    if (router == nullptr) return true;
+    std::vector<WireMessage> staged;
+    staged.reserve(wire.size());
+    for (Triplet& m : wire) {
+      staged.push_back({m.from, m.to, std::move(m.payload)});
+    }
+    std::optional<std::vector<WireMessage>> routed =
+        router->route(round, std::move(staged));
+    if (!routed.has_value()) {
+      transport_error = router->failure_reason();
+      return false;
+    }
+    if (routed->size() != wire.size()) {
+      transport_error = "round router returned " +
+                        std::to_string(routed->size()) + " messages, staged " +
+                        std::to_string(wire.size());
+      return false;
+    }
+    for (std::size_t i = 0; i < wire.size(); ++i) {
+      WireMessage& m = (*routed)[i];
+      if (m.from != wire[i].from || m.to != wire[i].to) {
+        transport_error = "round router reordered or readdressed message " +
+                          std::to_string(i);
+        return false;
+      }
+      wire[i].payload = std::move(m.payload);
+    }
+    return true;
+  }
+
   /// Delivers one round: all runners are parked (or finished), so their
   /// outboxes and metrics are safe to touch. Backend-agnostic; the thread
-  /// backend calls this with the barrier mutex held.
-  void deliver_round(std::size_t round) {
+  /// backend calls this with the barrier mutex held. Returns false iff the
+  /// installed RoundRouter failed to carry the round (never without one).
+  bool deliver_round(std::size_t round) {
     std::uint64_t round_honest_bytes = 0;
     std::uint64_t round_honest_msgs = 0;
     drain_outboxes(&round_honest_bytes, &round_honest_msgs);
@@ -429,6 +472,12 @@ struct SyncNetwork::Impl {
                      [](const Triplet& a, const Triplet& b) {
                        return a.from < b.from;
                      });
+    // Transport seam: the merged round leaves the process here. Everything
+    // below -- transcript, inboxes -- consumes what came back off the wire.
+    if (!route_wire(round)) {
+      wire.clear();
+      return false;
+    }
     if (transcript != nullptr) {
       Transcript::Round rec;
       rec.honest_bytes = round_honest_bytes;
@@ -480,6 +529,7 @@ struct SyncNetwork::Impl {
       s->inbox_next.clear();
     }
     wire.clear();
+    return true;
   }
 
   /// Drains leftover sends (staged after a party's last advance()) into a
@@ -690,6 +740,10 @@ void SyncNetwork::set_round_observer(RoundObserver* observer) {
   impl_->round_observer = observer;
 }
 
+void SyncNetwork::set_round_router(RoundRouter* router) {
+  impl_->router = router;
+}
+
 void SyncNetwork::set_fault_plan(FaultPlan plan) {
   plan.validate(n_);
   impl_->plan = std::move(plan);
@@ -890,10 +944,12 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
   const std::uint64_t ctl_bytes_copied_before =
       PayloadMetrics::thread_bytes_copied();
 
+  im.transport_error.clear();
   std::size_t rounds = 0;
   std::exception_ptr failure;
   bool timed_out = false;
   bool watchdog_fired = false;
+  bool transport_failed = false;
   const auto begin_round_span = [&] {
     if (im.tracer != nullptr) {
       im.tracer->begin(im.obs_engine_track, "round " + std::to_string(rounds),
@@ -964,7 +1020,12 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
         end_round_span();
         break;
       }
-      im.deliver_round(rounds);
+      if (!im.deliver_round(rounds)) {
+        transport_failed = true;
+        timed_out = true;  // stragglers report as TimedOut below
+        end_round_span();
+        break;
+      }
       end_round_span();
       ++rounds;
     }
@@ -1072,7 +1133,12 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
           break;
         }
         // All runners are parked; deliver one round.
-        im.deliver_round(rounds);
+        if (!im.deliver_round(rounds)) {
+          transport_failed = true;
+          timed_out = true;  // stragglers report as TimedOut below
+          end_round_span();
+          break;
+        }
         end_round_span();
         ++rounds;
       }
@@ -1093,14 +1159,18 @@ RunReport SyncNetwork::run_impl(std::size_t max_rounds, bool guarded,
   // Legacy (non-guarded) failure plumbing: the caller rethrows.
   *first_error = failure;
   if (!guarded && timed_out) {
-    *failure_reason = watchdog_fired
-                          ? "SyncNetwork: round stalled (watchdog)"
-                          : "SyncNetwork: max round count exceeded";
+    *failure_reason =
+        transport_failed
+            ? "SyncNetwork: transport failure: " + im.transport_error
+            : (watchdog_fired ? "SyncNetwork: round stalled (watchdog)"
+                              : "SyncNetwork: max round count exceeded");
   }
 
   RunReport rep;
   rep.timed_out = timed_out;
   rep.watchdog_fired = watchdog_fired;
+  rep.transport_failed = transport_failed;
+  rep.transport_error = im.transport_error;
   RunStats& stats = rep.stats;
   stats.rounds = rounds;
   stats.faults = im.faults;

@@ -54,6 +54,7 @@
 #include "net/exec_policy.h"
 #include "net/fault_plan.h"
 #include "net/payload.h"
+#include "net/round_router.h"
 #include "util/common.h"
 #include "util/rng.h"
 
@@ -83,6 +84,12 @@ constexpr std::uint64_t runner_stream_key(int party,
   return (static_cast<std::uint64_t>(party) << 20) |
          static_cast<std::uint64_t>(runner_index);
 }
+
+/// True when the ucontext fiber backend is usable in this build/run
+/// (false under ThreadSanitizer or COCA_NO_FIBERS). Exposed for other
+/// cooperative schedulers built on the same primitive -- the engine's
+/// kernel-batch co-scheduler gates on it.
+bool fibers_available();
 
 /// A delivered message with its authenticated sender. The payload is a
 /// shared view: all recipients of one `send_all` alias one buffer.
@@ -305,6 +312,13 @@ struct RunReport {
   bool timed_out = false;        // round cap (or watchdog) ended the run
   bool watchdog_fired = false;   // a round slice stalled past the watchdog
 
+  /// A RoundRouter failed to carry a round (socket error, daemon timeout,
+  /// wire-integrity mismatch). The run ended like a round-cap hit --
+  /// still-running parties are TimedOut, `timed_out` is set -- with the
+  /// router's reason here.
+  bool transport_failed = false;
+  std::string transport_error;
+
   bool all_decided() const {
     for (const PartyOutcome& o : outcomes) {
       if (o.outcome != Outcome::kDecided) return false;
@@ -358,6 +372,15 @@ class SyncNetwork {
   /// to disable (the default -- the delivery path is bit-identical either
   /// way). The observer must outlive run().
   void set_round_observer(RoundObserver* observer);
+
+  /// Installs a transport for delivered rounds (see net/round_router.h):
+  /// every round's canonically merged messages pass through
+  /// `router->route()` before the transcript records them and inboxes
+  /// consume them. Null (the default) keeps the in-memory path, which is
+  /// bit-identical by construction. The router must outlive run(). Router
+  /// failure ends the run with `RunReport::transport_failed` (guarded) or
+  /// an Error carrying the router's reason (strict).
+  void set_round_router(RoundRouter* router);
 
   /// Attaches an observability tracer (see obs/obs.h): the engine opens a
   /// span around every round (on an "engine" track) and every party slice

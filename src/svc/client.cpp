@@ -1,0 +1,320 @@
+#include "svc/client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+namespace coca::svc {
+
+namespace {
+
+Bytes u32_payload(std::uint32_t v) {
+  return Bytes{static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+               static_cast<std::uint8_t>(v >> 16),
+               static_cast<std::uint8_t>(v >> 24)};
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WireClient
+
+WireClient::WireClient(Fd fd, ClientOptions options)
+    : options_(options), fd_(std::move(fd)) {
+  reader_ = std::thread([this] { reader_loop(); });
+}
+
+std::unique_ptr<WireClient> WireClient::connect_uds_path(
+    const std::string& path, ClientOptions options) {
+  return std::unique_ptr<WireClient>(
+      new WireClient(connect_uds(path), options));
+}
+
+std::unique_ptr<WireClient> WireClient::connect_tcp(std::uint16_t port,
+                                                    ClientOptions options) {
+  return std::unique_ptr<WireClient>(
+      new WireClient(connect_tcp_loopback(port), options));
+}
+
+WireClient::~WireClient() {
+  // Unblock the reader (EOF) and join; sessions still alive observe the
+  // disconnect through their dead flag.
+  ::shutdown(fd_.get(), SHUT_RDWR);
+  if (reader_.joinable()) reader_.join();
+}
+
+bool WireClient::disconnected() const {
+  std::lock_guard lk(mu_);
+  return disconnected_;
+}
+
+void WireClient::reader_loop() {
+  FrameDecoder decoder;
+  std::uint8_t buf[64 * 1024];
+  std::string reason;
+  for (;;) {
+    const ssize_t got = ::read(fd_.get(), buf, sizeof(buf));
+    if (got > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(got));
+      while (std::optional<Frame> f = decoder.next()) {
+        dispatch(std::move(*f));
+      }
+      if (decoder.failed()) {
+        reason = "malformed daemon stream: " + decoder.error();
+        break;
+      }
+      continue;
+    }
+    if (got == 0) {
+      reason = "daemon closed the connection";
+      break;
+    }
+    if (errno == EINTR) continue;
+    reason = std::string("socket read failed: ") + std::strerror(errno);
+    break;
+  }
+  std::lock_guard lk(mu_);
+  disconnected_ = true;
+  disconnect_reason_ = reason;
+  for (auto& [id, s] : sessions_) {
+    if (!s->in_.dead) {
+      s->in_.dead = true;
+      s->in_.error = reason;
+    }
+    s->in_.cv.notify_all();
+  }
+}
+
+void WireClient::dispatch(Frame f) {
+  std::lock_guard lk(mu_);
+  const auto it = sessions_.find(f.header.session);
+  if (it == sessions_.end()) return;  // late frame for a closed session
+  WireSession::Inbound& in = it->second->in_;
+  switch (f.header.type) {
+    case FrameType::kOpenAck:
+      in.open_acked = true;
+      break;
+    case FrameType::kDeliver:
+      in.delivered.push_back({static_cast<int>(f.header.from),
+                              static_cast<int>(f.header.to),
+                              net::Payload(std::move(f.payload))});
+      return;  // no wakeup per message; the commit barrier notifies
+    case FrameType::kCommit:
+      in.round_done = true;
+      break;
+    case FrameType::kClosed:
+      in.closed_acked = true;
+      break;
+    case FrameType::kError:
+      in.dead = true;
+      in.error = "daemon error: " +
+                 std::string(f.payload.begin(), f.payload.end());
+      break;
+    default:
+      in.dead = true;
+      in.error = "unexpected daemon frame type";
+      break;
+  }
+  in.cv.notify_all();
+}
+
+bool WireClient::write_all(::iovec* iov, int iovcnt) {
+  std::size_t idx = 0;
+  while (idx < static_cast<std::size_t>(iovcnt)) {
+    const int chunk =
+        std::min(iovcnt - static_cast<int>(idx), 256);
+    // sendmsg instead of writev purely for MSG_NOSIGNAL: a daemon that
+    // hard-closed the connection must surface as a structured transport
+    // failure (EPIPE), not a process-killing SIGPIPE.
+    ::msghdr msg{};
+    msg.msg_iov = iov + idx;
+    msg.msg_iovlen = static_cast<std::size_t>(chunk);
+    const ssize_t wrote = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    std::size_t left = static_cast<std::size_t>(wrote);
+    while (left > 0) {
+      if (left >= iov[idx].iov_len) {
+        left -= iov[idx].iov_len;
+        ++idx;
+      } else {
+        iov[idx].iov_base = static_cast<std::uint8_t*>(iov[idx].iov_base) +
+                            left;
+        iov[idx].iov_len -= left;
+        left = 0;
+      }
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<WireSession> WireClient::open(int n, int t) {
+  require(n >= 1 && n <= 0xFFFF && t >= 0 && t < n,
+          "WireClient::open: bad n/t");
+  std::unique_ptr<WireSession> session;
+  {
+    std::lock_guard lk(mu_);
+    require(!disconnected_, "WireClient::open: connection is down");
+    const std::uint32_t id = next_session_++;
+    session.reset(new WireSession(*this, id));
+    sessions_.emplace(id, session.get());
+  }
+  FrameHeader h;
+  h.type = FrameType::kOpen;
+  h.session = session->id();
+  Bytes open_payload{
+      static_cast<std::uint8_t>(n), static_cast<std::uint8_t>(n >> 8),
+      static_cast<std::uint8_t>(t), static_cast<std::uint8_t>(t >> 8)};
+  const auto hdr =
+      encode_header(h, static_cast<std::uint32_t>(open_payload.size()));
+  iovec iov[2] = {{const_cast<std::uint8_t*>(hdr.data()), hdr.size()},
+                  {open_payload.data(), open_payload.size()}};
+  bool sent;
+  {
+    std::lock_guard lk(send_mu_);
+    sent = write_all(iov, 2);
+  }
+  std::unique_lock lk(mu_);
+  if (!sent) {
+    sessions_.erase(session->id());
+    throw Error("WireClient::open: send failed");
+  }
+  WireSession::Inbound& in = session->in_;
+  in.cv.wait_for(lk, std::chrono::milliseconds(options_.handshake_timeout_ms),
+                 [&] { return in.open_acked || in.dead; });
+  if (!in.open_acked) {
+    const std::string why = in.dead ? in.error : "handshake timeout";
+    sessions_.erase(session->id());
+    throw Error("WireClient::open: " + why);
+  }
+  return session;
+}
+
+// ---------------------------------------------------------------------------
+// WireSession
+
+WireSession::~WireSession() {
+  close();
+  std::lock_guard lk(client_.mu_);
+  client_.sessions_.erase(id_);
+}
+
+std::string WireSession::failure_reason() const {
+  std::lock_guard lk(client_.mu_);
+  return in_.error.empty() ? "transport failure" : in_.error;
+}
+
+std::optional<std::vector<net::WireMessage>> WireSession::route(
+    std::size_t round, std::vector<net::WireMessage> staged) {
+  {
+    std::lock_guard lk(client_.mu_);
+    if (in_.dead) return std::nullopt;
+    in_.delivered.clear();
+    in_.round_done = false;
+  }
+
+  // Send path: one gather batch of (header, payload-view) iovecs. The
+  // payload iovecs point straight into the protocol's refcounted buffers;
+  // nothing is staged or copied client-side.
+  const std::uint32_t r32 = static_cast<std::uint32_t>(round);
+  std::vector<std::array<std::uint8_t, kHeaderSize>> headers;
+  headers.reserve(staged.size() + 1);
+  std::vector<iovec> iov;
+  iov.reserve(2 * staged.size() + 2);
+  for (const net::WireMessage& m : staged) {
+    require(m.payload.size() <= kMaxFramePayload,
+            "WireSession::route: message exceeds frame payload limit");
+    FrameHeader h;
+    h.type = FrameType::kMsg;
+    h.session = id_;
+    h.round = r32;
+    h.from = static_cast<std::uint16_t>(m.from);
+    h.to = static_cast<std::uint16_t>(m.to);
+    headers.push_back(
+        encode_header(h, static_cast<std::uint32_t>(m.payload.size())));
+    iov.push_back({const_cast<std::uint8_t*>(headers.back().data()),
+                   kHeaderSize});
+    if (m.payload.size() > 0) {
+      iov.push_back({const_cast<std::uint8_t*>(m.payload.data()),
+                     m.payload.size()});
+    }
+  }
+  FrameHeader commit;
+  commit.type = FrameType::kCommit;
+  commit.session = id_;
+  commit.round = r32;
+  const Bytes commit_payload =
+      u32_payload(static_cast<std::uint32_t>(staged.size()));
+  headers.push_back(encode_header(
+      commit, static_cast<std::uint32_t>(commit_payload.size())));
+  iov.push_back({const_cast<std::uint8_t*>(headers.back().data()),
+                 kHeaderSize});
+  iov.push_back({const_cast<Bytes&>(commit_payload).data(),
+                 commit_payload.size()});
+
+  bool sent;
+  {
+    std::lock_guard lk(client_.send_mu_);
+    sent = client_.write_all(iov.data(), static_cast<int>(iov.size()));
+  }
+  std::unique_lock lk(client_.mu_);
+  if (!sent) {
+    in_.dead = true;
+    if (in_.error.empty()) in_.error = "socket write failed";
+    // A failed write is a connection-level loss, not just this session's:
+    // report it immediately instead of waiting for the reader thread to
+    // observe the EOF.
+    client_.disconnected_ = true;
+    if (client_.disconnect_reason_.empty()) {
+      client_.disconnect_reason_ = in_.error;
+    }
+    return std::nullopt;
+  }
+
+  // Round barrier: the daemon delivered everything back + kCommit.
+  in_.cv.wait_for(lk,
+                  std::chrono::milliseconds(client_.options_.round_timeout_ms),
+                  [&] { return in_.round_done || in_.dead; });
+  if (in_.dead) return std::nullopt;
+  if (!in_.round_done) {
+    in_.dead = true;
+    in_.error = "round barrier timeout after " +
+                std::to_string(client_.options_.round_timeout_ms) + "ms";
+    return std::nullopt;
+  }
+  std::vector<net::WireMessage> delivered = std::move(in_.delivered);
+  in_.delivered.clear();
+  in_.round_done = false;
+  return delivered;
+}
+
+void WireSession::close() {
+  std::unique_lock lk(client_.mu_);
+  if (close_sent_ || in_.dead || client_.disconnected_) return;
+  close_sent_ = true;
+  FrameHeader h;
+  h.type = FrameType::kClose;
+  h.session = id_;
+  const auto hdr = encode_header(h, 0);
+  iovec iov[1] = {{const_cast<std::uint8_t*>(hdr.data()), hdr.size()}};
+  lk.unlock();
+  bool sent;
+  {
+    std::lock_guard slk(client_.send_mu_);
+    sent = client_.write_all(iov, 1);
+  }
+  lk.lock();
+  if (!sent) return;
+  in_.cv.wait_for(lk,
+                  std::chrono::milliseconds(
+                      client_.options_.handshake_timeout_ms),
+                  [&] { return in_.closed_acked || in_.dead; });
+}
+
+}  // namespace coca::svc

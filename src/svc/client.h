@@ -1,0 +1,124 @@
+// Client side of the service runtime: a connection to the coca daemon
+// multiplexing concurrent agreement sessions, each usable as a
+// `net::RoundRouter`.
+//
+// `WireClient` owns one socket (UDS or TCP loopback) plus a demux reader
+// thread: inbound frames are parsed incrementally and dispatched to the
+// owning session's inbound state under the client mutex; sessions wait on
+// their own condition variables. The send path is the zero-copy half of
+// the transport: a round's kMsg frames are written as one writev batch of
+// (header, payload-view) iovecs straight from the protocol's `Payload`
+// buffers -- no staging copy, which is what keeps
+// `RunStats::payload_copies == 0` on the honest path end to end.
+//
+// `WireSession::route()` implements the round barrier over the wire:
+// write all staged messages + kCommit, block until the daemon delivered
+// them all back + its kCommit, return the re-materialized messages. Every
+// wait has a deadline and every failure (daemon kError, disconnect, EOF,
+// timeout) resolves to nullopt with a reason -- the engine then ends the
+// run with structured TimedOut outcomes instead of hanging or throwing.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/round_router.h"
+#include "svc/frame.h"
+#include "svc/socket.h"
+
+namespace coca::svc {
+
+struct ClientOptions {
+  /// Upper bound on one round barrier (route() returns nullopt past it).
+  int round_timeout_ms = 30'000;
+  /// Upper bound on session open/close handshakes.
+  int handshake_timeout_ms = 10'000;
+};
+
+class WireClient;
+
+/// One agreement session on a client connection. Thread-compatible: route()
+/// is called from the session's own engine controller; many sessions of
+/// one client may route concurrently from different threads.
+class WireSession : public net::RoundRouter {
+ public:
+  ~WireSession() override;
+
+  std::optional<std::vector<net::WireMessage>> route(
+      std::size_t round, std::vector<net::WireMessage> staged) override;
+  std::string failure_reason() const override;
+
+  std::uint32_t id() const { return id_; }
+
+  /// Orderly close (kClose, best-effort wait for kClosed). Idempotent;
+  /// the destructor calls it.
+  void close();
+
+ private:
+  friend class WireClient;
+  WireSession(WireClient& client, std::uint32_t id)
+      : client_(client), id_(id) {}
+
+  WireClient& client_;
+  std::uint32_t id_;
+
+  // Inbound state, guarded by the client mutex.
+  struct Inbound {
+    std::condition_variable cv;
+    std::vector<net::WireMessage> delivered;  // kDeliver of the open round
+    bool open_acked = false;
+    bool round_done = false;   // daemon kCommit seen
+    bool closed_acked = false;
+    bool dead = false;         // kError / disconnect
+    std::string error;
+  };
+  Inbound in_;
+  bool close_sent_ = false;
+};
+
+class WireClient {
+ public:
+  static std::unique_ptr<WireClient> connect_uds_path(
+      const std::string& path, ClientOptions options = {});
+  static std::unique_ptr<WireClient> connect_tcp(
+      std::uint16_t port, ClientOptions options = {});
+
+  ~WireClient();
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  /// Opens a session (kOpen/kOpenAck handshake). Throws Error on refusal
+  /// or handshake timeout. The session must not outlive the client.
+  std::unique_ptr<WireSession> open(int n, int t);
+
+  /// True once the reader saw EOF or a socket error.
+  bool disconnected() const;
+
+ private:
+  friend class WireSession;
+  WireClient(Fd fd, ClientOptions options);
+  void reader_loop();
+  void dispatch(Frame f);
+  /// Writes `iov` fully (handles partial writes); returns false on error.
+  bool write_all(::iovec* iov, int iovcnt);
+
+  ClientOptions options_;
+  Fd fd_;
+  mutable std::mutex mu_;
+  std::mutex send_mu_;  // serializes writev batches across sessions
+  std::unordered_map<std::uint32_t, WireSession*> sessions_;
+  std::uint32_t next_session_ = 1;
+  bool disconnected_ = false;
+  std::string disconnect_reason_;
+  std::thread reader_;
+};
+
+}  // namespace coca::svc

@@ -1,0 +1,84 @@
+#include "svc/event_loop.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+namespace coca::svc {
+
+EventLoop::EventLoop() {
+  epoll_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+  require(epoll_.valid(), "EventLoop: epoll_create1 failed");
+  wake_fd_ = Fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+  require(wake_fd_.valid(), "EventLoop: eventfd failed");
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_.get();
+  require(::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, wake_fd_.get(), &ev) == 0,
+          "EventLoop: epoll_ctl(wake) failed");
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::add(int fd, std::uint32_t events, Callback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  require(::epoll_ctl(epoll_.get(), EPOLL_CTL_ADD, fd, &ev) == 0,
+          "EventLoop::add: epoll_ctl failed");
+  callbacks_[fd] = std::move(cb);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  require(::epoll_ctl(epoll_.get(), EPOLL_CTL_MOD, fd, &ev) == 0,
+          "EventLoop::modify: epoll_ctl failed");
+}
+
+void EventLoop::remove(int fd) {
+  ::epoll_ctl(epoll_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  callbacks_.erase(fd);
+}
+
+int EventLoop::poll(int timeout_ms) {
+  epoll_event events[64];
+  const int nready = ::epoll_wait(epoll_.get(), events, 64, timeout_ms);
+  if (nready < 0) {
+    if (errno == EINTR) return 0;
+    throw Error(std::string("EventLoop::poll: epoll_wait: ") +
+                std::strerror(errno));
+  }
+  int dispatched = 0;
+  for (int i = 0; i < nready; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_.get()) {
+      std::uint64_t drain = 0;
+      while (::read(wake_fd_.get(), &drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    // A callback may have removed this fd while handling an earlier event
+    // of the same batch; look it up fresh each time.
+    const auto it = callbacks_.find(fd);
+    if (it == callbacks_.end()) continue;
+    // Copy: the callback may remove(fd) and invalidate the map slot.
+    Callback cb = it->second;
+    cb(events[i].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void EventLoop::wake() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const auto n =
+      ::write(wake_fd_.get(), &one, sizeof(one));
+}
+
+}  // namespace coca::svc

@@ -1,0 +1,47 @@
+// Non-blocking epoll event loop of the daemon.
+//
+// One loop owns one epoll instance; every registered fd carries a callback
+// invoked with the ready-event mask. Single-threaded by design -- the
+// daemon's whole data path runs on the loop thread, so connection and
+// session state need no locks. `wake()` is the only cross-thread entry
+// point (an eventfd registered at construction) and is how stop() and
+// other threads interrupt a blocking poll().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "svc/socket.h"
+
+namespace coca::svc {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for `events` (EPOLLIN/EPOLLOUT/...). The callback may
+  /// add/modify/remove fds, including removing its own.
+  void add(int fd, std::uint32_t events, Callback cb);
+  void modify(int fd, std::uint32_t events);
+  void remove(int fd);
+
+  /// One epoll_wait + dispatch. `timeout_ms` < 0 blocks indefinitely.
+  /// Returns the number of events dispatched (0 on timeout or wake()).
+  int poll(int timeout_ms);
+
+  /// Interrupts a blocking poll() from any thread.
+  void wake();
+
+ private:
+  Fd epoll_;
+  Fd wake_fd_;  // eventfd, level-drained inside poll()
+  std::unordered_map<int, Callback> callbacks_;
+};
+
+}  // namespace coca::svc

@@ -1,0 +1,127 @@
+#include "svc/frame.h"
+
+#include <cstring>
+
+namespace coca::svc {
+
+namespace {
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+bool valid_frame_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kOpen) &&
+         t <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+std::array<std::uint8_t, kHeaderSize> encode_header(
+    const FrameHeader& h, std::uint32_t payload_len) {
+  std::array<std::uint8_t, kHeaderSize> out;
+  put_u32(out.data() + 0, kFrameMagic);
+  out[4] = kWireVersion;
+  out[5] = static_cast<std::uint8_t>(h.type);
+  put_u16(out.data() + 6, h.flags);
+  put_u32(out.data() + 8, h.session);
+  put_u32(out.data() + 12, h.round);
+  put_u16(out.data() + 16, h.from);
+  put_u16(out.data() + 18, h.to);
+  put_u32(out.data() + 20, payload_len);
+  return out;
+}
+
+Bytes encode_frame(const FrameHeader& h,
+                   std::span<const std::uint8_t> payload) {
+  require(payload.size() <= kMaxFramePayload, "encode_frame: payload too big");
+  const auto hdr = encode_header(h, static_cast<std::uint32_t>(payload.size()));
+  Bytes out(kHeaderSize + payload.size());
+  std::memcpy(out.data(), hdr.data(), kHeaderSize);
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kHeaderSize, payload.data(), payload.size());
+  }
+  return out;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  if (failed() || len == 0) return;
+  // Compact lazily: only when the consumed prefix dominates the buffer, so
+  // a steady stream of small frames does one memmove per buffer's worth of
+  // input, not one per frame.
+  if (off_ > 0 && off_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(off_));
+    off_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (failed()) return std::nullopt;
+  if (buf_.size() - off_ < kHeaderSize) return std::nullopt;
+  const std::uint8_t* p = buf_.data() + off_;
+  if (get_u32(p) != kFrameMagic) {
+    error_ = "bad frame magic (desynced or non-coca stream)";
+    buf_.clear();
+    off_ = 0;
+    return std::nullopt;
+  }
+  if (p[4] != kWireVersion) {
+    error_ = "unsupported wire version " + std::to_string(p[4]);
+    buf_.clear();
+    off_ = 0;
+    return std::nullopt;
+  }
+  if (!valid_frame_type(p[5])) {
+    error_ = "unknown frame type " + std::to_string(p[5]);
+    buf_.clear();
+    off_ = 0;
+    return std::nullopt;
+  }
+  const std::uint32_t payload_len = get_u32(p + 20);
+  if (payload_len > kMaxFramePayload) {
+    error_ = "frame payload length " + std::to_string(payload_len) +
+             " exceeds limit";
+    buf_.clear();
+    off_ = 0;
+    return std::nullopt;
+  }
+  if (buf_.size() - off_ < kHeaderSize + payload_len) return std::nullopt;
+
+  Frame f;
+  f.header.type = static_cast<FrameType>(p[5]);
+  f.header.flags = get_u16(p + 6);
+  f.header.session = get_u32(p + 8);
+  f.header.round = get_u32(p + 12);
+  f.header.from = get_u16(p + 16);
+  f.header.to = get_u16(p + 18);
+  f.payload.assign(p + kHeaderSize, p + kHeaderSize + payload_len);
+  off_ += kHeaderSize + payload_len;
+  if (off_ == buf_.size()) {
+    buf_.clear();
+    off_ = 0;
+  }
+  return f;
+}
+
+}  // namespace coca::svc

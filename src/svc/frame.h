@@ -1,0 +1,132 @@
+// Wire framing of the service runtime.
+//
+// Every byte on a daemon connection is a sequence of length-prefixed
+// frames: a fixed 24-byte little-endian header followed by `payload_len`
+// payload bytes. The payload of a kMsg/kDeliver frame is the protocol
+// message itself -- the existing zero-copy `net::Payload` bytes, written
+// straight from the sender's buffer via writev (the header is the only
+// per-frame material the transport adds).
+//
+//   offset  size  field        notes
+//   ------  ----  -----------  ------------------------------------------
+//        0     4  magic        0x41434F43 ("COCA" in LE byte order)
+//        4     1  version      kWireVersion (1)
+//        5     1  type         FrameType
+//        6     2  flags        reserved, must be 0
+//        8     4  session      session id (connection-scoped)
+//       12     4  round        engine round the frame belongs to
+//       16     2  from         sender party id (kMsg/kDeliver), else 0
+//       18     2  to           recipient party id (kMsg/kDeliver), else 0
+//       20     4  payload_len  <= kMaxFramePayload
+//
+// Frame types and their payloads:
+//   kOpen     client->server  u16 n, u16 t          open a session
+//   kOpenAck  server->client  (empty)               session is live
+//   kMsg      client->server  protocol message      one staged message
+//   kCommit   both ways       u32 count             round barrier: client
+//                             commits `count` staged kMsg frames; the
+//                             server echoes kCommit after the last
+//                             kDeliver of the round
+//   kDeliver  server->client  protocol message      one routed message
+//   kClose    client->server  (empty)               orderly session close
+//   kClosed   server->client  (empty)               close acknowledged
+//   kError    server->client  UTF-8 reason          session killed
+//
+// `FrameDecoder` is a push parser built for adversarial streams: bytes
+// arrive in arbitrary fragments (1-byte reads, frames split across reads,
+// many frames per read) and malformed input -- bad magic, unknown
+// version/type, oversized or truncated length -- moves the decoder into a
+// sticky failed state instead of UB. tests/test_frame.cpp tortures it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/payload.h"
+#include "util/common.h"
+
+namespace coca::svc {
+
+inline constexpr std::uint32_t kFrameMagic = 0x41434F43;  // "COCA"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 24;
+/// Upper bound on a single frame payload; a length field above this is a
+/// protocol violation (or a desynced stream) and fails the decoder before
+/// any allocation happens.
+inline constexpr std::uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
+
+enum class FrameType : std::uint8_t {
+  kOpen = 1,
+  kOpenAck = 2,
+  kMsg = 3,
+  kCommit = 4,
+  kDeliver = 5,
+  kClose = 6,
+  kClosed = 7,
+  kError = 8,
+};
+
+/// True iff `t` is a defined FrameType value (decoder validation).
+bool valid_frame_type(std::uint8_t t);
+
+struct FrameHeader {
+  FrameType type = FrameType::kOpen;
+  std::uint16_t flags = 0;
+  std::uint32_t session = 0;
+  std::uint32_t round = 0;
+  std::uint16_t from = 0;
+  std::uint16_t to = 0;
+
+  bool operator==(const FrameHeader&) const = default;
+};
+
+/// One decoded frame. The payload is owned (materialized off the wire).
+struct Frame {
+  FrameHeader header;
+  Bytes payload;
+
+  bool operator==(const Frame&) const = default;
+};
+
+/// Serializes a header (with the magic/version preamble) for `payload_len`
+/// payload bytes. The send path writes this array and the payload buffer
+/// as two iovecs -- the payload is never staged into a frame buffer.
+std::array<std::uint8_t, kHeaderSize> encode_header(
+    const FrameHeader& h, std::uint32_t payload_len);
+
+/// Convenience single-buffer encoding (tests, small control frames).
+Bytes encode_frame(const FrameHeader& h,
+                   std::span<const std::uint8_t> payload);
+
+/// Incremental frame parser over an arbitrarily fragmented byte stream.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes off the socket. Cheap after failure (bytes are
+  /// dropped; the stream is already lost).
+  void feed(const std::uint8_t* data, std::size_t len);
+  void feed(std::span<const std::uint8_t> data) {
+    feed(data.data(), data.size());
+  }
+
+  /// Pops the next complete frame, or nullopt when the buffer holds only a
+  /// partial frame (or the decoder failed). Call in a loop: one feed() may
+  /// complete many frames.
+  std::optional<Frame> next();
+
+  /// Sticky malformed-stream state; `error()` says what broke.
+  bool failed() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+
+  /// Bytes currently buffered (tests).
+  std::size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t off_ = 0;  // consumed prefix of buf_
+  std::string error_;
+};
+
+}  // namespace coca::svc

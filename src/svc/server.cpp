@@ -1,0 +1,407 @@
+#include "svc/server.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+namespace coca::svc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint16_t read_u16(const Bytes& b, std::size_t off) {
+  return static_cast<std::uint16_t>(b[off] | (b[off + 1] << 8));
+}
+
+std::uint32_t read_u32(const Bytes& b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) |
+         (static_cast<std::uint32_t>(b[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(b[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+
+Bytes u32_payload(std::uint32_t v) {
+  return Bytes{static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+               static_cast<std::uint8_t>(v >> 16),
+               static_cast<std::uint8_t>(v >> 24)};
+}
+
+Bytes text_payload(const std::string& s) {
+  return Bytes(s.begin(), s.end());
+}
+
+}  // namespace
+
+struct Daemon::Conn {
+  Fd fd;
+  FrameDecoder decoder;
+
+  /// One queued outbound frame: fixed header + owned payload, with a write
+  /// cursor for partial sends. The payload buffer is the one that came off
+  /// the wire (moved, never copied) -- the daemon's routing fast path is
+  /// allocation-free per message apart from the queue node.
+  struct OutFrame {
+    std::array<std::uint8_t, kHeaderSize> header;
+    Bytes payload;
+    std::size_t off = 0;  // bytes of (header + payload) already written
+  };
+  std::deque<OutFrame> out;
+  bool want_writable = false;
+
+  /// Per-round message buffer of one session between kCommit barriers.
+  struct Session {
+    int n = 0;
+    int t = 0;
+    std::vector<Frame> staged;  // kMsg frames of the round in flight
+    std::uint64_t rounds_committed = 0;
+    Clock::time_point last_activity;
+  };
+  std::map<std::uint32_t, Session> sessions;
+};
+
+Daemon::Daemon(DaemonOptions options) : options_(std::move(options)) {
+  require(!options_.uds_path.empty() || options_.tcp,
+          "Daemon: need a UDS path or TCP enabled");
+  if (!options_.uds_path.empty()) {
+    uds_listener_ = listen_uds(options_.uds_path);
+    set_nonblocking(uds_listener_.get());
+    loop_.add(uds_listener_.get(), EPOLLIN,
+              [this](std::uint32_t) { accept_ready(uds_listener_); });
+  }
+  if (options_.tcp) {
+    tcp_listener_ = listen_tcp_loopback(options_.tcp_port);
+    set_nonblocking(tcp_listener_.get());
+    tcp_port_ = local_port(tcp_listener_.get());
+    loop_.add(tcp_listener_.get(), EPOLLIN,
+              [this](std::uint32_t) { accept_ready(tcp_listener_); });
+  }
+}
+
+Daemon::~Daemon() {
+  stop();
+  if (!options_.uds_path.empty()) ::unlink(options_.uds_path.c_str());
+}
+
+void Daemon::start() {
+  require(!thread_.joinable(), "Daemon::start: already running");
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void Daemon::stop() {
+  request_stop();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Daemon::request_stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  loop_.wake();
+}
+
+void Daemon::run() {
+  stop_.store(false, std::memory_order_relaxed);
+  loop();
+}
+
+void Daemon::loop() {
+  // Poll granularity: fine enough that idle kills land within ~1/4 of the
+  // configured timeout, coarse enough to not spin when quiet.
+  const int tick_ms =
+      std::clamp(options_.idle_timeout_ms / 4, 10, 1000);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    loop_.poll(tick_ms);
+    sweep_idle();
+  }
+  // Orderly teardown on the loop thread: every conn closes here, so no
+  // other thread ever touched connection state.
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, c] : conns_) fds.push_back(fd);
+  for (const int fd : fds) close_conn(fd);
+}
+
+void Daemon::accept_ready(Fd& listener) {
+  for (;;) {
+    const int fd = ::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    auto conn = std::make_unique<Conn>();
+    conn->fd = Fd(fd);
+    conns_.emplace(fd, std::move(conn));
+    loop_.add(fd, EPOLLIN,
+              [this, fd](std::uint32_t events) { conn_ready(fd, events); });
+    stats_.connections_accepted.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Daemon::conn_ready(int fd, std::uint32_t events) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& c = *it->second;
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_conn(fd);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    flush(c);
+    if (conns_.find(fd) == conns_.end()) return;  // flush may close
+  }
+  if ((events & EPOLLIN) == 0) return;
+
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got > 0) {
+      stats_.bytes_received.fetch_add(static_cast<std::uint64_t>(got),
+                                      std::memory_order_relaxed);
+      c.decoder.feed(buf, static_cast<std::size_t>(got));
+      while (std::optional<Frame> f = c.decoder.next()) {
+        stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
+        handle_frame(c, std::move(*f));
+        if (conns_.find(fd) == conns_.end()) return;  // frame closed us
+      }
+      if (c.decoder.failed()) {
+        stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        close_conn(fd);
+        return;
+      }
+      continue;
+    }
+    if (got == 0) {  // peer closed
+      close_conn(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    close_conn(fd);
+    return;
+  }
+}
+
+void Daemon::handle_frame(Conn& c, Frame f) {
+  const std::uint32_t sid = f.header.session;
+  const auto session_error = [&](const std::string& reason) {
+    stats_.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    FrameHeader h;
+    h.type = FrameType::kError;
+    h.session = sid;
+    h.round = f.header.round;
+    send_frame(c, h, text_payload(reason));
+    c.sessions.erase(sid);
+  };
+
+  switch (f.header.type) {
+    case FrameType::kOpen: {
+      if (f.payload.size() != 4) {
+        session_error("kOpen payload must be u16 n, u16 t");
+        return;
+      }
+      if (c.sessions.contains(sid)) {
+        session_error("session id already open on this connection");
+        return;
+      }
+      Conn::Session s;
+      s.n = read_u16(f.payload, 0);
+      s.t = read_u16(f.payload, 2);
+      if (s.n < 1 || s.t < 0 || s.t >= s.n) {
+        session_error("kOpen with invalid n/t");
+        return;
+      }
+      s.last_activity = Clock::now();
+      c.sessions.emplace(sid, std::move(s));
+      stats_.sessions_opened.fetch_add(1, std::memory_order_relaxed);
+      FrameHeader h;
+      h.type = FrameType::kOpenAck;
+      h.session = sid;
+      send_frame(c, h, {});
+      return;
+    }
+    case FrameType::kMsg: {
+      const auto it = c.sessions.find(sid);
+      if (it == c.sessions.end()) {
+        session_error("kMsg for unknown session");
+        return;
+      }
+      it->second.last_activity = Clock::now();
+      it->second.staged.push_back(std::move(f));
+      return;
+    }
+    case FrameType::kCommit: {
+      const auto it = c.sessions.find(sid);
+      if (it == c.sessions.end()) {
+        session_error("kCommit for unknown session");
+        return;
+      }
+      Conn::Session& s = it->second;
+      if (f.payload.size() != 4) {
+        session_error("kCommit payload must be u32 count");
+        return;
+      }
+      const std::uint32_t count = read_u32(f.payload, 0);
+      if (count != s.staged.size()) {
+        session_error("kCommit count " + std::to_string(count) +
+                      " != " + std::to_string(s.staged.size()) +
+                      " staged messages");
+        return;
+      }
+      // Route: every staged message goes back out as kDeliver, in the
+      // exact order the client committed it, then the round barrier.
+      for (Frame& m : s.staged) {
+        FrameHeader h = m.header;
+        h.type = FrameType::kDeliver;
+        send_frame(c, h, std::move(m.payload));
+      }
+      s.staged.clear();
+      FrameHeader h;
+      h.type = FrameType::kCommit;
+      h.session = sid;
+      h.round = f.header.round;
+      send_frame(c, h, u32_payload(count));
+      s.last_activity = Clock::now();
+      ++s.rounds_committed;
+      stats_.rounds_committed.fetch_add(1, std::memory_order_relaxed);
+      if (options_.drop_connection_after_rounds > 0 &&
+          s.rounds_committed >=
+              static_cast<std::uint64_t>(
+                  options_.drop_connection_after_rounds)) {
+        // Injected fault: the daemon "dies" for this connection mid
+        // conversation -- no goodbye frames, just a closed socket.
+        close_conn(c.fd.get());
+      }
+      return;
+    }
+    case FrameType::kClose: {
+      if (c.sessions.erase(sid) > 0) {
+        stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+      }
+      FrameHeader h;
+      h.type = FrameType::kClosed;
+      h.session = sid;
+      send_frame(c, h, {});
+      return;
+    }
+    default:
+      // kOpenAck/kDeliver/kClosed/kError are server->client only.
+      session_error("unexpected client frame type");
+      return;
+  }
+}
+
+void Daemon::send_frame(Conn& c, const FrameHeader& h, Bytes payload) {
+  require(payload.size() <= kMaxFramePayload,
+          "Daemon::send_frame: payload too big");
+  Conn::OutFrame of;
+  of.header = encode_header(h, static_cast<std::uint32_t>(payload.size()));
+  of.payload = std::move(payload);
+  c.out.push_back(std::move(of));
+  flush(c);
+}
+
+void Daemon::flush(Conn& c) {
+  const int fd = c.fd.get();
+  while (!c.out.empty()) {
+    // Gather up to 32 queued frames (64 iovecs) per writev.
+    iovec iov[64];
+    int iovcnt = 0;
+    for (const Conn::OutFrame& of : c.out) {
+      if (iovcnt + 2 > 64) break;
+      std::size_t off = of.off;
+      if (off < kHeaderSize) {
+        iov[iovcnt].iov_base =
+            const_cast<std::uint8_t*>(of.header.data()) + off;
+        iov[iovcnt].iov_len = kHeaderSize - off;
+        ++iovcnt;
+        off = 0;
+      } else {
+        off -= kHeaderSize;
+      }
+      if (off < of.payload.size()) {
+        iov[iovcnt].iov_base =
+            const_cast<std::uint8_t*>(of.payload.data()) + off;
+        iov[iovcnt].iov_len = of.payload.size() - off;
+        ++iovcnt;
+      }
+    }
+    if (iovcnt == 0) {  // fully-written frames at the front
+      c.out.pop_front();
+      continue;
+    }
+    // sendmsg for MSG_NOSIGNAL: a client that vanished mid-write is an
+    // EPIPE close, never a SIGPIPE to the daemon process.
+    ::msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t wrote = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_conn(fd);
+      return;
+    }
+    // Advance cursors through the queue front.
+    std::size_t left = static_cast<std::size_t>(wrote);
+    while (left > 0 && !c.out.empty()) {
+      Conn::OutFrame& of = c.out.front();
+      const std::size_t total = kHeaderSize + of.payload.size();
+      const std::size_t take = std::min(left, total - of.off);
+      of.off += take;
+      left -= take;
+      if (of.off == total) c.out.pop_front();
+    }
+  }
+  const bool want = !c.out.empty();
+  if (want != c.want_writable) {
+    c.want_writable = want;
+    loop_.modify(fd, want ? (EPOLLIN | EPOLLOUT) : EPOLLIN);
+  }
+}
+
+void Daemon::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  stats_.sessions_closed.fetch_add(it->second->sessions.size(),
+                                   std::memory_order_relaxed);
+  loop_.remove(fd);
+  conns_.erase(it);  // Fd dtor closes
+}
+
+void Daemon::sweep_idle() {
+  if (options_.idle_timeout_ms <= 0) return;
+  const auto deadline =
+      Clock::now() - std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (auto& [fd, conn] : conns_) {
+    Conn& c = *conn;
+    for (auto it = c.sessions.begin(); it != c.sessions.end();) {
+      if (it->second.last_activity < deadline) {
+        FrameHeader h;
+        h.type = FrameType::kError;
+        h.session = it->first;
+        send_frame(c, h, text_payload("session idle timeout"));
+        if (conns_.find(fd) == conns_.end()) return;  // send may close
+        it = c.sessions.erase(it);
+        stats_.sessions_idle_killed.fetch_add(1, std::memory_order_relaxed);
+        stats_.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace coca::svc

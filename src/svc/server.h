@@ -1,0 +1,112 @@
+// The coca transport daemon: a single-threaded epoll server that
+// synchronizes agreement rounds over UDS and TCP-loopback connections.
+//
+// Role in the system: the daemon is the wire. A client process runs the
+// (unmodified) protocol parties; at every round barrier it ships the
+// round's canonically merged messages to the daemon as kMsg frames and
+// commits with a count. The daemon buffers the round per session,
+// validates the commit, and routes every message back to its recipient's
+// connection as kDeliver frames followed by a kCommit barrier -- so all
+// protocol traffic genuinely transits the socket (client -> daemon ->
+// client) before any party consumes it. In the loopback deployment one
+// connection hosts all n parties of a session and "routing" is an ordered
+// echo; the framing carries (session, round, from, to) so nothing about
+// the protocol changes when parties spread over many connections.
+//
+// Sessions: one connection multiplexes many concurrent agreement sessions
+// (the session id lives in every frame header). Each session is a small
+// state machine (open -> per-round buffer/commit cycles -> closed) with
+// its own idle clock; a session that goes quiet past the idle timeout is
+// killed with a kError frame. Malformed streams (bad magic, commit count
+// mismatch, frames for unknown sessions) kill the connection or session
+// with a structured error, never the daemon.
+//
+// Threading: all connection and session state belongs to the loop thread;
+// start()/stop() run the loop on a background thread (tests), run() runs
+// it on the caller's thread (tools/coca_serve). Stats counters are
+// atomics so tests and ops can observe from outside.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "svc/event_loop.h"
+#include "svc/frame.h"
+
+namespace coca::svc {
+
+struct DaemonOptions {
+  /// Unix-domain socket path; empty = no UDS listener.
+  std::string uds_path;
+  /// Listen on 127.0.0.1 when true (`tcp_port` 0 picks an ephemeral port,
+  /// read back via Daemon::tcp_port()).
+  bool tcp = false;
+  std::uint16_t tcp_port = 0;
+  /// A session with no frame activity for this long is killed with kError.
+  int idle_timeout_ms = 30'000;
+  /// Deterministic fault injection for tests: hard-close a connection
+  /// (RST-style, no goodbye frames) as soon as any of its sessions commits
+  /// this many rounds. 0 = disabled.
+  int drop_connection_after_rounds = 0;
+};
+
+/// Loop-thread-owned counters, readable from any thread.
+struct DaemonStats {
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> sessions_opened{0};
+  std::atomic<std::uint64_t> sessions_closed{0};
+  std::atomic<std::uint64_t> sessions_idle_killed{0};
+  std::atomic<std::uint64_t> rounds_committed{0};
+  std::atomic<std::uint64_t> frames_received{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+};
+
+class Daemon {
+ public:
+  explicit Daemon(DaemonOptions options);
+  ~Daemon();
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Runs the loop on a background thread until stop().
+  void start();
+  /// Signals the loop to exit and joins it (idempotent; also safe after
+  /// run() returned).
+  void stop();
+  /// Runs the loop on the calling thread until stop() is called from
+  /// another thread (or a signal handler calls request_stop()).
+  void run();
+  /// Async-signal-safe stop request (no join).
+  void request_stop();
+
+  /// The bound TCP port (valid once constructed, options.tcp only).
+  std::uint16_t tcp_port() const { return tcp_port_; }
+  const DaemonStats& stats() const { return stats_; }
+
+ private:
+  struct Conn;
+  void accept_ready(Fd& listener);
+  void conn_ready(int fd, std::uint32_t events);
+  void handle_frame(Conn& c, Frame f);
+  void send_frame(Conn& c, const FrameHeader& h, Bytes payload);
+  void flush(Conn& c);
+  void close_conn(int fd);
+  void sweep_idle();
+  void loop();
+
+  DaemonOptions options_;
+  EventLoop loop_;
+  Fd uds_listener_;
+  Fd tcp_listener_;
+  std::uint16_t tcp_port_ = 0;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  DaemonStats stats_;
+};
+
+}  // namespace coca::svc

@@ -1,0 +1,62 @@
+// Thin POSIX socket helpers shared by the daemon and the client driver.
+// All helpers throw coca::Error with errno context on failure; the Fd
+// wrapper makes descriptor ownership explicit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+namespace coca::svc {
+
+/// RAII file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens a Unix-domain stream socket at `path` (any stale socket
+/// file is unlinked first).
+Fd listen_uds(const std::string& path);
+
+/// Binds + listens a TCP socket on 127.0.0.1:`port` (0 = ephemeral).
+Fd listen_tcp_loopback(std::uint16_t port);
+
+/// The locally bound TCP port of `fd` (resolves an ephemeral bind).
+std::uint16_t local_port(int fd);
+
+/// Blocking connect helpers for the client side.
+Fd connect_uds(const std::string& path);
+Fd connect_tcp_loopback(std::uint16_t port);
+
+/// O_NONBLOCK on (daemon side: every fd in the epoll set is non-blocking).
+void set_nonblocking(int fd);
+
+/// Disables Nagle on TCP sockets (no-op on UDS): the round barrier is a
+/// request/response ping-pong, exactly the pattern delayed ACKs + Nagle
+/// serialize into 40 ms stalls.
+void set_nodelay(int fd);
+
+}  // namespace coca::svc

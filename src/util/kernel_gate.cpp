@@ -1,0 +1,10 @@
+#include "util/kernel_gate.h"
+
+namespace coca {
+
+KernelGate*& thread_kernel_gate() {
+  thread_local KernelGate* gate = nullptr;
+  return gate;
+}
+
+}  // namespace coca

@@ -1,0 +1,80 @@
+// Thread-local compute-kernel gate: the seam through which a co-scheduler
+// batches kernel work across concurrent protocol instances.
+//
+// The hot kernels (Reed-Solomon encode, Merkle MT.BUILD) pay a per-call
+// setup cost -- GF(2^16) MulBy table builds, hash-context construction --
+// that the batch entry points (`codec::axpy_be_batch`,
+// `ReedSolomon::encode_batch`, `MerkleTree::build_views_batch`) amortize
+// across many invocations. A single protocol instance can't use them: it
+// reaches each kernel call one at a time, mid-protocol. The gate closes
+// that gap: kernel entry points consult the calling thread's gate first,
+// and a co-scheduler (the engine's kernel batcher, engine/kernel_batch.h)
+// that runs K instances as cooperative fibers on one thread installs a
+// gate that *parks* the calling instance at the kernel call, gathers the
+// parked requests of its sibling instances, executes them through the
+// batch entry points, and resumes everyone with their results.
+//
+// Contract:
+//  * A null thread gate (the default everywhere) means every kernel call
+//    runs inline, exactly as before -- one branch of overhead.
+//  * A gate returning false declines the request (e.g. payload below the
+//    wide-kernel threshold); the caller runs inline.
+//  * A gate returning true filled `*out` with bytes bit-identical to the
+//    inline computation (the batch entry points guarantee this; tier-1
+//    differential tests assert it).
+//  * The gate may suspend the calling execution context (that is the
+//    point); callers must tolerate arbitrary suspension at the call, which
+//    protocol code does by construction (it already suspends at every
+//    advance()).
+//
+// This lives in util (not codec/crypto) so both kernel libraries can
+// consult it without a dependency cycle; `crypto::MerkleTree` is forward
+// declared and only ever touched through a pointer here.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/common.h"
+
+namespace coca::crypto {
+class MerkleTree;
+}
+
+namespace coca {
+
+class KernelGate {
+ public:
+  virtual ~KernelGate() = default;
+
+  /// Batched ReedSolomon(n, k).encode(data) -> *out. False = declined.
+  virtual bool rs_encode(std::size_t n, std::size_t k, const Bytes& data,
+                         std::vector<Bytes>* out) = 0;
+
+  /// Batched MerkleTree::build_views(leaves) -> *out. False = declined.
+  /// The leaf views must stay valid until the call returns (they live on
+  /// the suspended caller's stack, which the co-scheduler keeps alive).
+  virtual bool merkle_build(
+      std::span<const std::span<const std::uint8_t>> leaves,
+      crypto::MerkleTree* out) = 0;
+};
+
+/// The calling thread's gate; null by default.
+KernelGate*& thread_kernel_gate();
+
+/// RAII install/restore of the thread gate.
+class KernelGateScope {
+ public:
+  explicit KernelGateScope(KernelGate* gate) : prev_(thread_kernel_gate()) {
+    thread_kernel_gate() = gate;
+  }
+  ~KernelGateScope() { thread_kernel_gate() = prev_; }
+  KernelGateScope(const KernelGateScope&) = delete;
+  KernelGateScope& operator=(const KernelGateScope&) = delete;
+
+ private:
+  KernelGate* prev_;
+};
+
+}  // namespace coca

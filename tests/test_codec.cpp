@@ -274,10 +274,32 @@ TEST(ReedSolomon, BatchEncodeMatchesReferencePerPayload) {
   }
 }
 
+TEST(ReedSolomon, BatchEncodePointerOverloadMatchesValueOverload) {
+  // The scatter form (span of pointers, as handed up by the engine's
+  // kernel batcher from parked instances) is the same computation as the
+  // contiguous form -- and both equal per-payload encode().
+  const ReedSolomon rs(7, 5);
+  Rng rng(131);
+  std::vector<Bytes> payloads;
+  for (const std::size_t size : {2u, 600u, 2551u, 4096u}) {
+    payloads.push_back(rng.bytes(size));
+  }
+  std::vector<const Bytes*> ptrs;
+  for (const Bytes& p : payloads) ptrs.push_back(&p);
+  const auto via_ptrs =
+      rs.encode_batch(std::span<const Bytes* const>(ptrs));
+  const auto via_values = rs.encode_batch(payloads);
+  ASSERT_EQ(via_ptrs.size(), payloads.size());
+  EXPECT_EQ(via_ptrs, via_values);
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    EXPECT_EQ(via_ptrs[i], rs.encode(payloads[i]));
+  }
+}
+
 TEST(ReedSolomon, BatchEncodeEdgeShapes) {
   const ReedSolomon rs(7, 5);
   // Empty batch, single payload, and all-small / all-wide uniform batches.
-  EXPECT_TRUE(rs.encode_batch({}).empty());
+  EXPECT_TRUE(rs.encode_batch(std::span<const Bytes>{}).empty());
   for (const std::size_t size : {3u, 5000u}) {
     Rng rng(17 + size);
     const std::vector<Bytes> batch(4, rng.bytes(size));

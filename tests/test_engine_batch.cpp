@@ -1,0 +1,154 @@
+// Cross-instance kernel batching (engine/kernel_batch.h).
+//
+// Two contracts under test. First, equivalence: with `batch_kernels` on
+// (the default), every instance's transcript, RunStats -- including
+// payload_copies, which exercises the per-fiber PayloadMetrics counter
+// virtualization -- and oracle verdict are bit-identical to the same case
+// run alone. Second, the gate actually fires: a worker holding several
+// kernel-heavy instances must report nonzero batched RS encodes and Merkle
+// builds, with fewer flushes than served calls (i.e. real amortization,
+// not one flush per call).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/engine.h"
+#include "net/sync_network.h"
+
+namespace coca {
+namespace {
+
+std::vector<adv::FuzzCase> kernel_heavy_cases(std::size_t count) {
+  // LongBAPlus drives both gated kernels per party per invocation:
+  // RS.ENCODE of the length-prefixed payload and MT.BUILD over the shares.
+  std::vector<adv::FuzzCase> cases;
+  for (std::size_t i = 0; i < count; ++i) {
+    adv::FuzzCase c;
+    c.protocol = "LongBAPlus";
+    c.n = (i % 3 == 0) ? 7 : 4;
+    c.t = (c.n - 1) / 3;
+    c.ell = 16 + 8 * (i % 4);
+    c.input_seed = 0xBA7C4ULL + i;
+    c.threads = 1;
+    cases.push_back(std::move(c));
+  }
+  return cases;
+}
+
+void expect_equivalent(const adv::FuzzCase& c,
+                       const engine::InstanceResult& got) {
+  net::Transcript solo_tr;
+  const adv::FuzzOutcome solo = adv::execute_case(c, &solo_tr);
+  const net::RunStats& a = solo.stats;
+  const net::RunStats& b = got.outcome.stats;
+  EXPECT_EQ(a.honest_bytes, b.honest_bytes);
+  EXPECT_EQ(a.honest_messages, b.honest_messages);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.bytes_by_party, b.bytes_by_party);
+  EXPECT_EQ(a.phase_breakdown, b.phase_breakdown);
+  // The sharp check: with several instances interleaved on one thread the
+  // per-thread copy counters are virtualized per fiber; a leak between
+  // instances shows up here as a wrong per-run diff.
+  EXPECT_EQ(a.payload_copies, b.payload_copies);
+  EXPECT_EQ(solo.verdict.violations, got.outcome.verdict.violations);
+  EXPECT_EQ(solo.terminated, got.outcome.terminated);
+  EXPECT_TRUE(solo_tr == got.transcript);
+}
+
+TEST(EngineKernelBatch, BatchedRunBitIdenticalToSolo) {
+  if (!net::fibers_available()) GTEST_SKIP() << "needs ucontext fibers";
+  const std::vector<adv::FuzzCase> cases = kernel_heavy_cases(8);
+  engine::EngineOptions opt;
+  opt.workers = 1;  // all instances share one worker: maximal batching
+  const engine::EngineReport report = engine::Engine(opt).run(cases);
+  ASSERT_EQ(report.instances.size(), cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "instance=" << i);
+    expect_equivalent(cases[i], report.instances[i]);
+  }
+  // The gate fired, and flushing amortized: strictly fewer flush passes
+  // than kernel calls served.
+  EXPECT_GT(report.kernel_batch.rs_calls, 0u);
+  EXPECT_GT(report.kernel_batch.merkle_calls, 0u);
+  EXPECT_GT(report.kernel_batch.flushes, 0u);
+  EXPECT_LT(report.kernel_batch.flushes,
+            report.kernel_batch.rs_calls + report.kernel_batch.merkle_calls);
+}
+
+TEST(EngineKernelBatch, MultiWorkerBatchedStillEquivalent) {
+  if (!net::fibers_available()) GTEST_SKIP() << "needs ucontext fibers";
+  const std::vector<adv::FuzzCase> cases = kernel_heavy_cases(8);
+  for (const int workers : {2, 4}) {
+    SCOPED_TRACE(::testing::Message() << "workers=" << workers);
+    engine::EngineOptions opt;
+    opt.workers = workers;
+    const engine::EngineReport report = engine::Engine(opt).run(cases);
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      SCOPED_TRACE(::testing::Message() << "instance=" << i);
+      expect_equivalent(cases[i], report.instances[i]);
+    }
+    EXPECT_GT(report.kernel_batch.rs_calls, 0u);
+  }
+}
+
+TEST(EngineKernelBatch, ByzantineAndFaultInstancesBatchSafely) {
+  if (!net::fibers_available()) GTEST_SKIP() << "needs ucontext fibers";
+  std::vector<adv::FuzzCase> cases = kernel_heavy_cases(6);
+  cases[1].corrupted = {1};
+  cases[1].mutation.seed = 0xBAD01;
+  net::FaultPlan::Crash crash;
+  crash.party = 2;
+  crash.from_round = 2;
+  crash.until_round = 4;
+  cases[4].faults.crashes.push_back(crash);
+  engine::EngineOptions opt;
+  opt.workers = 1;
+  const engine::EngineReport report = engine::Engine(opt).run(cases);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "instance=" << i);
+    expect_equivalent(cases[i], report.instances[i]);
+  }
+}
+
+TEST(EngineKernelBatch, DisabledViaOptionReportsZeroStats) {
+  const std::vector<adv::FuzzCase> cases = kernel_heavy_cases(4);
+  engine::EngineOptions opt;
+  opt.workers = 1;
+  opt.batch_kernels = false;
+  const engine::EngineReport report = engine::Engine(opt).run(cases);
+  EXPECT_EQ(report.kernel_batch.flushes, 0u);
+  EXPECT_EQ(report.kernel_batch.rs_calls, 0u);
+  EXPECT_EQ(report.kernel_batch.merkle_calls, 0u);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "instance=" << i);
+    expect_equivalent(cases[i], report.instances[i]);
+  }
+}
+
+TEST(EngineKernelBatch, TraceModeDisablesBatching) {
+  // Batching collapses per-call kernel spans into per-flush spans, so the
+  // engine must keep traced runs on the sequential path.
+  const std::vector<adv::FuzzCase> cases = kernel_heavy_cases(4);
+  engine::EngineOptions opt;
+  opt.workers = 1;
+  opt.trace = true;
+  const engine::EngineReport report = engine::Engine(opt).run(cases);
+  EXPECT_EQ(report.kernel_batch.flushes, 0u);
+  EXPECT_EQ(report.kernel_batch.rs_calls, 0u);
+}
+
+TEST(EngineKernelBatch, SingleInstancePerWorkerRunsInline) {
+  const std::vector<adv::FuzzCase> cases = kernel_heavy_cases(3);
+  engine::EngineOptions opt;
+  opt.workers = 3;  // one instance each: nothing to batch with
+  const engine::EngineReport report = engine::Engine(opt).run(cases);
+  EXPECT_EQ(report.kernel_batch.flushes, 0u);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    SCOPED_TRACE(::testing::Message() << "instance=" << i);
+    expect_equivalent(cases[i], report.instances[i]);
+  }
+}
+
+}  // namespace
+}  // namespace coca

@@ -1,0 +1,192 @@
+// Wire conformance: every protocol run over the socket transport is
+// bit-identical to the same run on the in-process SyncNetwork.
+//
+// Each case executes twice from the same seed: once plain, once with
+// ExecHooks::router pointing at a WireSession of an in-process daemon on a
+// UDS loopback -- so every delivered round genuinely transits
+// client -> epoll daemon -> client as length-prefixed frames. The
+// transcript, RunStats (honest bytes/messages/rounds, per-party bytes,
+// phase breakdown), oracle verdict, and payload_copies must not change:
+// the wire is a pure transport, not a semantic layer. Byzantine
+// (mutator/SendTap) and crash-fault (FaultPlan) cases ride the same wire
+// to pin that the adversary and environment layers survive the transport
+// seam too.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "adversary/fuzzer.h"
+#include "svc/client.h"
+#include "svc/server.h"
+#include "svc/wire_network.h"
+
+namespace coca {
+namespace {
+
+std::string unique_uds_path(const char* tag) {
+  return "/tmp/coca-test-" + std::string(tag) + "-" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+class WireConformance : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = unique_uds_path("conformance");
+    svc::DaemonOptions dopt;
+    dopt.uds_path = path_;
+    daemon_ = std::make_unique<svc::Daemon>(dopt);
+    daemon_->start();
+    client_ = svc::WireClient::connect_uds_path(path_);
+  }
+
+  void TearDown() override {
+    client_.reset();
+    daemon_->stop();
+    daemon_.reset();
+    ::unlink(path_.c_str());
+  }
+
+  /// Runs `c` plain and over the wire; asserts bit-identical results.
+  void expect_conformant(const adv::FuzzCase& c) {
+    net::Transcript plain_tr;
+    const adv::FuzzOutcome plain = adv::execute_case(c, &plain_tr);
+
+    std::unique_ptr<svc::WireSession> session = client_->open(c.n, c.t);
+    net::Transcript wire_tr;
+    adv::ExecHooks hooks;
+    hooks.transcript = &wire_tr;
+    hooks.router = session.get();
+    const adv::FuzzOutcome wired = adv::execute_case(c, hooks);
+
+    const net::RunStats& a = plain.stats;
+    const net::RunStats& b = wired.stats;
+    EXPECT_EQ(a.honest_bytes, b.honest_bytes);
+    EXPECT_EQ(a.honest_messages, b.honest_messages);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(a.bytes_by_party, b.bytes_by_party);
+    EXPECT_EQ(a.phase_breakdown, b.phase_breakdown);
+    EXPECT_EQ(a.honest_bytes_by_phase, b.honest_bytes_by_phase);
+    // The wire adds no copies on the honest send path: kMsg payloads leave
+    // via iovec views of the protocol's own buffers.
+    EXPECT_EQ(a.payload_copies, b.payload_copies);
+    EXPECT_EQ(plain.verdict.violations, wired.verdict.violations);
+    EXPECT_EQ(plain.terminated, wired.terminated);
+    EXPECT_TRUE(plain_tr == wire_tr)
+        << "transcript differs between SyncNetwork and wire transport";
+  }
+
+  std::string path_;
+  std::unique_ptr<svc::Daemon> daemon_;
+  std::unique_ptr<svc::WireClient> client_;
+};
+
+adv::FuzzCase base_case(const std::string& protocol, int n) {
+  adv::FuzzCase c;
+  c.protocol = protocol;
+  c.n = n;
+  c.t = (n - 1) / 3;
+  c.ell = 16;
+  c.input_seed = 0xC0CA + n;
+  c.threads = 1;
+  return c;
+}
+
+TEST_F(WireConformance, HonestAllProtocolsBothShapes) {
+  for (const std::string& protocol : adv::known_protocols()) {
+    for (const int n : {4, 7}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "protocol=" << protocol << " n=" << n);
+      expect_conformant(base_case(protocol, n));
+    }
+  }
+}
+
+TEST_F(WireConformance, ByzantineAllProtocols) {
+  // One corrupted party under the default mutator mix (SendTap-wrapped):
+  // adversarial traffic crosses the wire bit-identically too.
+  for (const std::string& protocol : adv::known_protocols()) {
+    SCOPED_TRACE(::testing::Message() << "protocol=" << protocol);
+    adv::FuzzCase c = base_case(protocol, 4);
+    c.corrupted = {2};
+    c.mutation.seed = 0xBAD0C0CA;
+    expect_conformant(c);
+  }
+}
+
+TEST_F(WireConformance, CrashFaultAllProtocols) {
+  // FaultPlan crash-stop with recovery: the guarded engine's structured
+  // PartyOutcomes path, over sockets.
+  for (const std::string& protocol : adv::known_protocols()) {
+    SCOPED_TRACE(::testing::Message() << "protocol=" << protocol);
+    adv::FuzzCase c = base_case(protocol, 4);
+    net::FaultPlan::Crash crash;
+    crash.party = 1;
+    crash.from_round = 2;
+    crash.until_round = 4;
+    c.faults.crashes.push_back(crash);
+    expect_conformant(c);
+  }
+}
+
+TEST_F(WireConformance, OsThreadBackendOverWire) {
+  // threads > 1 selects the OS-thread party backend; the round barrier
+  // still funnels through one router call per round.
+  adv::FuzzCase c = base_case("BAPlus", 4);
+  c.threads = 4;
+  expect_conformant(c);
+}
+
+TEST_F(WireConformance, WireNetworkFacadeRunsProtocol) {
+  // The WireNetwork convenience wrapper: same SyncNetwork surface, wired
+  // transport underneath. Smoke a direct protocol run through it.
+  svc::WireNetwork wnet(4, 1, *client_);
+  net::SyncNetwork plain(4, 1);
+  auto program = [](net::PartyContext& ctx) {
+    for (int r = 0; r < 3; ++r) {
+      ctx.send_all(Bytes{static_cast<std::uint8_t>(ctx.id()),
+                         static_cast<std::uint8_t>(r)});
+      ctx.advance();
+    }
+  };
+  for (int id = 0; id < 4; ++id) {
+    wnet.set_honest(id, program);
+    plain.set_honest(id, program);
+  }
+  net::Transcript wire_tr;
+  net::Transcript plain_tr;
+  wnet.set_transcript(&wire_tr);
+  plain.set_transcript(&plain_tr);
+  const net::RunStats a = plain.run();
+  const net::RunStats b = wnet.run();
+  EXPECT_EQ(a.honest_bytes, b.honest_bytes);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_TRUE(plain_tr == wire_tr);
+}
+
+TEST_F(WireConformance, TransportFailureYieldsStructuredReport) {
+  // Kill the daemon mid-run: run_report must resolve to transport_failed +
+  // timed-out outcomes, never a hang or an uncaught throw.
+  std::unique_ptr<svc::WireSession> session = client_->open(4, 1);
+  net::SyncNetwork net(4, 1);
+  net.set_round_router(session.get());
+  for (int id = 0; id < 4; ++id) {
+    net.set_honest(id, [this](net::PartyContext& ctx) {
+      for (int r = 0; r < 1000; ++r) {
+        if (r == 3 && ctx.id() == 0) daemon_->stop();  // cut the wire
+        ctx.send_all(Bytes{static_cast<std::uint8_t>(r)});
+        ctx.advance();
+      }
+    });
+  }
+  const net::RunReport rep = net.run_report();
+  EXPECT_TRUE(rep.transport_failed);
+  EXPECT_FALSE(rep.transport_error.empty());
+}
+
+}  // namespace
+}  // namespace coca

@@ -8,6 +8,10 @@
 //                                         # zero-copy broadcast check
 //   bench_runner --trace                  # embed per-entry phase_bits (the
 //                                         # leaf phase breakdown, in bits)
+//   bench_runner --wire                   # add the "wire_entries" section:
+//                                         # every protocol over an in-process
+//                                         # epoll daemon (UDS and TCP
+//                                         # loopback) vs. the simulator
 //
 // The matrix is pinned (protocol, n, ell, threads, seed) so runs are
 // comparable across commits; every entry reports wall-clock seconds,
@@ -20,15 +24,19 @@
 //
 // Exit status: 0 = success, 1 = a run failed agreement or a smoke invariant
 // (honest broadcast must perform zero deep payload copies), 2 = usage error.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 #include "adversary/degradation.h"
 #include "adversary/fuzzer.h"
@@ -36,6 +44,8 @@
 #include "ca/broadcast_ca.h"
 #include "ca/driver.h"
 #include "net/sync_network.h"
+#include "svc/client.h"
+#include "svc/server.h"
 #include "util/rng.h"
 
 namespace {
@@ -51,7 +61,13 @@ using namespace coca;
                "  --baseline FILE    embed FILE's JSON as the \"baseline\" "
                "field\n"
                "  --reps N           best-of-N wall-clock (default 3)\n"
-               "  --trace            embed per-entry phase_bits breakdowns\n";
+               "  --trace            embed per-entry phase_bits breakdowns\n"
+               "  --wire             add wire_entries (simulator vs UDS/TCP "
+               "loopback daemon)\n"
+               "  --wire-uds PATH    with --wire: connect to an already "
+               "running coca_serve\n"
+               "                     on PATH instead of an in-process "
+               "daemon (UDS rows only)\n";
   std::exit(2);
 }
 
@@ -214,6 +230,149 @@ std::vector<ThroughputResult> run_throughput_matrix(int reps) {
   return rows;
 }
 
+/// Wire matrix (--wire): every protocol target at n=7, run three ways from
+/// the same seed -- plain simulator, over an in-process epoll daemon via
+/// UDS, and via TCP loopback. Honest bits/rounds/payload_copies must be
+/// bit-identical across all three (the wire is a pure transport); only
+/// wall-clock may differ, and that difference is the number the section
+/// exists to track.
+struct WireResult {
+  std::string protocol;
+  const char* transport = "uds";
+  std::uint64_t seed = 0;
+  double sim_seconds = 0;
+  double wire_seconds = 0;
+  std::uint64_t honest_bits = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t payload_copies = 0;
+};
+
+/// With `external_uds` empty, stands up an in-process daemon serving both
+/// UDS and TCP loopback and emits one row per transport. With a path, it
+/// connects to an already running coca_serve there (CI starts the real
+/// binary) and emits UDS rows only.
+std::vector<WireResult> run_wire_matrix(int reps,
+                                        const std::string& external_uds) {
+  const bool own_daemon = external_uds.empty();
+  const std::string uds_path =
+      own_daemon ? "/tmp/coca-bench-" + std::to_string(::getpid()) + ".sock"
+                 : external_uds;
+  std::unique_ptr<svc::Daemon> daemon;
+  if (own_daemon) {
+    svc::DaemonOptions dopt;
+    dopt.uds_path = uds_path;
+    dopt.tcp = true;
+    daemon = std::make_unique<svc::Daemon>(dopt);
+    daemon->start();
+  }
+  std::vector<WireResult> rows;
+  {
+    const auto uds_client = svc::WireClient::connect_uds_path(uds_path);
+    const auto tcp_client =
+        own_daemon ? svc::WireClient::connect_tcp(daemon->tcp_port())
+                   : nullptr;
+    std::uint64_t seed = 0x31BE;
+    for (const std::string& protocol : adv::known_protocols()) {
+      adv::FuzzCase c;
+      c.protocol = protocol;
+      c.n = 7;
+      c.t = 2;
+      c.ell = 256;
+      c.input_seed = seed++;
+      c.threads = 1;
+
+      double sim_seconds = 1e100;
+      adv::FuzzOutcome sim;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto start = std::chrono::steady_clock::now();
+        sim = adv::execute_case(c);
+        const auto stop = std::chrono::steady_clock::now();
+        sim_seconds = std::min(
+            sim_seconds, std::chrono::duration<double>(stop - start).count());
+      }
+      if (!sim.verdict.ok()) {
+        throw Error("bench_runner: " + protocol +
+                    " failed its oracle in the wire baseline");
+      }
+
+      for (svc::WireClient* client : {uds_client.get(), tcp_client.get()}) {
+        if (client == nullptr) continue;
+        WireResult row;
+        row.protocol = protocol;
+        row.transport = client == uds_client.get() ? "uds" : "tcp";
+        row.seed = c.input_seed;
+        row.sim_seconds = sim_seconds;
+        row.wire_seconds = 1e100;
+        for (int rep = 0; rep < reps; ++rep) {
+          const auto session = client->open(c.n, c.t);
+          adv::ExecHooks hooks;
+          hooks.router = session.get();
+          const auto start = std::chrono::steady_clock::now();
+          const adv::FuzzOutcome wired = adv::execute_case(c, hooks);
+          const auto stop = std::chrono::steady_clock::now();
+          row.wire_seconds = std::min(
+              row.wire_seconds,
+              std::chrono::duration<double>(stop - start).count());
+          if (wired.stats.honest_bits() != sim.stats.honest_bits() ||
+              wired.stats.rounds != sim.stats.rounds ||
+              wired.stats.payload_copies != sim.stats.payload_copies) {
+            throw Error("bench_runner: " + protocol + " over " +
+                        row.transport +
+                        " diverged from the simulator (honest bits, rounds, "
+                        "or payload copies)");
+          }
+          row.honest_bits = wired.stats.honest_bits();
+          row.rounds = wired.stats.rounds;
+          row.payload_copies = wired.stats.payload_copies;
+        }
+        rows.push_back(std::move(row));
+      }
+    }
+  }
+  if (own_daemon) {
+    daemon->stop();
+    ::unlink(uds_path.c_str());
+  }
+  return rows;
+}
+
+/// Zero-copy over the wire: the same honest all-to-all broadcast as
+/// zero_copy_probe, but with every round crossing the UDS daemon. The send
+/// path writes (header, payload-view) iovecs straight from the protocol's
+/// buffers, so payload_copies must stay exactly zero end to end.
+bool wire_zero_copy_probe(std::string* detail) {
+  const std::string uds_path =
+      "/tmp/coca-bench-zc-" + std::to_string(::getpid()) + ".sock";
+  svc::DaemonOptions dopt;
+  dopt.uds_path = uds_path;
+  svc::Daemon daemon(dopt);
+  daemon.start();
+  net::RunStats stats;
+  {
+    const auto client = svc::WireClient::connect_uds_path(uds_path);
+    const auto session = client->open(7, 2);
+    net::SyncNetwork net(7, 2);
+    net.set_round_router(session.get());
+    for (int i = 0; i < 7; ++i) {
+      net.set_honest(i, [](net::PartyContext& ctx) {
+        for (int r = 0; r < 5; ++r) {
+          Bytes big(4096, static_cast<std::uint8_t>(r));
+          ctx.send_all(std::move(big));
+          ctx.advance();
+        }
+      });
+    }
+    stats = net.run();
+  }
+  daemon.stop();
+  ::unlink(uds_path.c_str());
+  std::ostringstream os;
+  os << "payload_copies=" << stats.payload_copies
+     << " payload_bytes_copied=" << stats.payload_bytes_copied;
+  *detail = os.str();
+  return stats.payload_copies == 0;
+}
+
 struct Result {
   Entry entry;
   double seconds = 0;
@@ -297,6 +456,7 @@ bool zero_copy_probe(std::string* detail) {
 void write_json(std::ostream& os, const std::vector<Result>& results,
                 const std::vector<FaultResult>& fault_results,
                 const std::vector<ThroughputResult>& throughput_results,
+                const std::vector<WireResult>& wire_results,
                 const std::string& baseline_text, bool smoke) {
   os << "{\n";
   os << "  \"schema\": \"coca-bench-v1\",\n";
@@ -372,6 +532,28 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
     }
     os << "  ]";
   }
+  if (!wire_results.empty()) {
+    os << ",\n  \"wire_entries\": [\n";
+    for (std::size_t i = 0; i < wire_results.size(); ++i) {
+      const WireResult& r = wire_results[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"bench\": \"wire\", \"protocol\": \"%s\", "
+          "\"transport\": \"%s\", \"n\": 7, \"t\": 2, \"ell_bits\": 256, "
+          "\"threads\": 1, \"seed\": %llu, \"sim_seconds\": %.6f, "
+          "\"wire_seconds\": %.6f, \"honest_bits\": %llu, \"rounds\": %llu, "
+          "\"payload_copies\": %llu}%s",
+          r.protocol.c_str(), r.transport,
+          static_cast<unsigned long long>(r.seed), r.sim_seconds,
+          r.wire_seconds, static_cast<unsigned long long>(r.honest_bits),
+          static_cast<unsigned long long>(r.rounds),
+          static_cast<unsigned long long>(r.payload_copies),
+          i + 1 < wire_results.size() ? ",\n" : "\n");
+      os << buf;
+    }
+    os << "  ]";
+  }
   if (!baseline_text.empty()) {
     os << ",\n  \"baseline\": " << baseline_text;
   }
@@ -383,9 +565,11 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
 int main(int argc, char** argv) {
   bool smoke = false;
   bool trace = false;
+  bool wire = false;
   int reps = 3;
   std::string out_path;
   std::string baseline_path;
+  std::string wire_uds;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -396,6 +580,10 @@ int main(int argc, char** argv) {
       smoke = true;
     } else if (arg == "--trace") {
       trace = true;
+    } else if (arg == "--wire") {
+      wire = true;
+    } else if (arg == "--wire-uds") {
+      wire_uds = next();
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--baseline") {
@@ -409,6 +597,7 @@ int main(int argc, char** argv) {
       usage("unknown option " + arg);
     }
   }
+  if (!wire_uds.empty() && !wire) usage("--wire-uds needs --wire");
 
   std::string baseline_text;
   if (!baseline_path.empty()) {
@@ -450,6 +639,31 @@ int main(int argc, char** argv) {
               << r.payload_copies << " payload copies\n";
   }
 
+  std::vector<WireResult> wire_results;
+  if (wire) {
+    std::string detail;
+    if (wire_zero_copy_probe(&detail)) {
+      std::cerr << "wire: honest broadcast over UDS zero-copy ok (" << detail
+                << ")\n";
+    } else {
+      std::cerr << "wire: FAIL: honest broadcast over UDS copied payloads ("
+                << detail << ")\n";
+      status = 1;
+    }
+    try {
+      wire_results = run_wire_matrix(smoke ? 1 : reps, wire_uds);
+    } catch (const std::exception& ex) {
+      std::cerr << "bench_runner: " << ex.what() << "\n";
+      return 1;
+    }
+    for (const WireResult& r : wire_results) {
+      std::cerr << "wire " << r.protocol << " over " << r.transport
+                << ": sim " << r.sim_seconds << "s, wire " << r.wire_seconds
+                << "s, " << r.honest_bits << " honest bits, " << r.rounds
+                << " rounds (bit-identical)\n";
+    }
+  }
+
   std::vector<FaultResult> fault_results;
   std::vector<ThroughputResult> throughput_results;
   if (!smoke) {
@@ -482,15 +696,15 @@ int main(int argc, char** argv) {
 
   if (out_path.empty()) {
     write_json(std::cout, results, fault_results, throughput_results,
-               baseline_text, smoke);
+               wire_results, baseline_text, smoke);
   } else {
     std::ofstream out(out_path);
     if (!out) {
       std::cerr << "bench_runner: cannot write " << out_path << "\n";
       return 1;
     }
-    write_json(out, results, fault_results, throughput_results, baseline_text,
-               smoke);
+    write_json(out, results, fault_results, throughput_results, wire_results,
+               baseline_text, smoke);
   }
   return status;
 }

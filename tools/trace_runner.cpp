@@ -23,11 +23,17 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
+#include <unistd.h>
+
 #include "adversary/degradation.h"
 #include "adversary/fuzzer.h"
 #include "obs/adapt.h"
 #include "obs/export.h"
 #include "obs/obs.h"
+#include "svc/client.h"
+#include "svc/server.h"
 
 namespace {
 
@@ -51,6 +57,9 @@ using namespace coca;
          "  --metrics FILE     write coca-metrics-v1 JSON\n"
          "  --table            print the plain-text round table\n"
          "  --no-timing        canonical mode: omit all wall-clock fields\n"
+         "  --wire             route every round through an in-process epoll\n"
+         "                     daemon over a UDS loopback (same bits, traced\n"
+         "                     over the real socket transport)\n"
          "FILE may be - for stdout.\n";
   std::exit(2);
 }
@@ -102,6 +111,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool table = false;
   bool timing = true;
+  bool wire = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -133,6 +143,8 @@ int main(int argc, char** argv) {
         table = true;
       } else if (arg == "--no-timing") {
         timing = false;
+      } else if (arg == "--wire") {
+        wire = true;
       } else if (arg == "--help" || arg == "-h") {
         usage();
       } else {
@@ -161,7 +173,32 @@ int main(int argc, char** argv) {
   obs::Tracer tracer(obs::Tracer::Options{timing});
   adv::FuzzOutcome outcome;
   try {
-    outcome = adv::execute_case(c, /*transcript=*/nullptr, &tracer);
+    adv::ExecHooks hooks;
+    hooks.tracer = &tracer;
+    // --wire: stand up an in-process daemon on a private UDS path and
+    // route every delivered round through it. The trace then covers the
+    // identical bits travelling over the real socket transport.
+    std::unique_ptr<svc::Daemon> daemon;
+    std::unique_ptr<svc::WireClient> client;
+    std::unique_ptr<svc::WireSession> session;
+    std::string uds_path;
+    if (wire) {
+      uds_path = "/tmp/coca-trace-" + std::to_string(::getpid()) + ".sock";
+      svc::DaemonOptions dopt;
+      dopt.uds_path = uds_path;
+      daemon = std::make_unique<svc::Daemon>(dopt);
+      daemon->start();
+      client = svc::WireClient::connect_uds_path(uds_path);
+      session = client->open(c.n, c.t);
+      hooks.router = session.get();
+    }
+    outcome = adv::execute_case(c, hooks);
+    session.reset();
+    client.reset();
+    if (daemon) {
+      daemon->stop();
+      ::unlink(uds_path.c_str());
+    }
   } catch (const std::exception& e) {
     std::cerr << "trace_runner: run failed: " << e.what() << "\n";
     return 1;
