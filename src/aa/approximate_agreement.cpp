@@ -18,7 +18,7 @@ Bytes encode_value(const BigInt& v) {
   return std::move(w).take();
 }
 
-std::optional<BigInt> decode_value(const Bytes& raw) {
+std::optional<BigInt> decode_value(std::span<const std::uint8_t> raw) {
   Reader r(raw);
   const auto sign = r.u8();
   if (!sign || *sign > 1) return std::nullopt;
@@ -68,7 +68,9 @@ BigInt SyncApproxAgreement::run(net::PartyContext& ctx, const BigInt& input,
   for (std::size_t iter = 0; iter < rounds; ++iter) {
     // Round 1: ship the current value to everyone.
     ctx.send_all(encode_value(value));
-    std::vector<std::optional<Bytes>> payload_of(static_cast<std::size_t>(n));
+    // Views, not copies: only digests of these are ever re-shipped.
+    std::vector<std::optional<net::Payload>> payload_of(
+        static_cast<std::size_t>(n));
     for (const auto& e : net::first_per_sender(ctx.advance())) {
       payload_of[static_cast<std::size_t>(e.from)] = e.payload;
     }

@@ -22,7 +22,7 @@ struct Parsed {
   BigInt value;
 };
 
-std::optional<Parsed> decode(const Bytes& raw) {
+std::optional<Parsed> decode(std::span<const std::uint8_t> raw) {
   Reader r(raw);
   const auto round = r.u64();
   const auto sign = r.u8();

@@ -23,7 +23,7 @@ struct Parsed {
   Bytes value;
 };
 
-std::optional<Parsed> decode(const Bytes& raw) {
+std::optional<Parsed> decode(std::span<const std::uint8_t> raw) {
   Reader r(raw);
   const auto type = r.u8();
   if (!type || *type > 2) return std::nullopt;

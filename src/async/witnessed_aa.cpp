@@ -24,7 +24,7 @@ Bytes encode_value(const BigInt& v) {
   return std::move(w).take();
 }
 
-std::optional<BigInt> decode_value(const Bytes& raw) {
+std::optional<BigInt> decode_value(std::span<const std::uint8_t> raw) {
   Reader r(raw);
   const auto sign = r.u8();
   if (!sign || *sign > 1) return std::nullopt;

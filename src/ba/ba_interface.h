@@ -63,7 +63,10 @@ inline Bytes encode_maybe(const MaybeBytes& v) {
 
 /// Strict decode of the tagged encoding; nullopt-of-optional is expressed as
 /// the outer optional being empty (malformed), the inner being bottom.
-inline std::optional<MaybeBytes> decode_maybe(const Bytes& raw) {
+/// Span-typed so received payloads decode in place, whether they are owned
+/// Bytes or zero-copy slab views off the wire.
+inline std::optional<MaybeBytes> decode_maybe(
+    std::span<const std::uint8_t> raw) {
   Reader r(raw);
   const auto tag = r.u8();
   if (!tag) return std::nullopt;

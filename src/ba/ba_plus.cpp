@@ -13,7 +13,9 @@ MaybeBytes BAPlus::run(net::PartyContext& ctx, const Bytes& input) const {
   // Line 1: distribute inputs. Any byte string counts as a value here;
   // inputs are opaque to the protocol.
   ctx.send_all(input);
-  std::map<Bytes, int> counts;
+  // Keyed by payload *views*: counting received values costs refcount
+  // bumps, not byte copies (ordering matches Bytes ordering bit for bit).
+  std::map<net::Payload, int> counts;
   for (const auto& e : net::first_per_sender(ctx.advance())) {
     ++counts[e.payload];
   }
@@ -22,19 +24,19 @@ MaybeBytes BAPlus::run(net::PartyContext& ctx, const Bytes& input) const {
   // proves at most two such values exist; we order candidates by
   // (count desc, value asc) so behaviour stays deterministic even under
   // more corruptions than the model allows.
-  std::vector<Bytes> candidates;
+  std::vector<net::Payload> candidates;
   for (const auto& [value, cnt] : counts) {
     if (cnt >= n - 2 * t) candidates.push_back(value);
   }
   std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](const Bytes& x, const Bytes& y) {
+                   [&](const net::Payload& x, const net::Payload& y) {
                      return counts[x] > counts[y];
                    });
   if (candidates.size() > 2) candidates.resize(2);
   {
     Writer vote;
     vote.u8(narrow<std::uint8_t>(candidates.size()));
-    for (const Bytes& c : candidates) vote.bytes(c);
+    for (const net::Payload& c : candidates) vote.bytes(c);
     ctx.send_all(std::move(vote).take());
   }
 

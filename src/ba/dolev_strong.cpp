@@ -36,7 +36,7 @@ Bytes encode_chain(const Chain& c) {
   return std::move(w).take();
 }
 
-std::optional<Chain> decode_chain(const Bytes& raw, int n) {
+std::optional<Chain> decode_chain(std::span<const std::uint8_t> raw, int n) {
   Reader r(raw);
   auto value = r.bytes();
   const auto count = r.u8();

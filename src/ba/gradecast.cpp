@@ -6,8 +6,11 @@ namespace coca::ba {
 
 namespace {
 
-/// Encodes one optional entry per instance in `values`.
-Bytes encode_vector(const std::vector<std::optional<Bytes>>& values) {
+/// Encodes one optional entry per instance in `values`. Generic over the
+/// entry type: round-2 echoes re-encode received payload *views* (zero
+/// copy between receive and echo), round-3 vectors hold owned Bytes.
+template <class T>
+Bytes encode_vector(const std::vector<std::optional<T>>& values) {
   Writer w;
   for (const auto& v : values) {
     w.u8(v.has_value() ? 1 : 0);
@@ -19,7 +22,7 @@ Bytes encode_vector(const std::vector<std::optional<Bytes>>& values) {
 /// Decodes an instance vector of exactly `count` entries; nullopt if
 /// malformed (the sender's whole vector is then ignored).
 std::optional<std::vector<std::optional<Bytes>>> decode_vector(
-    const Bytes& raw, std::size_t count) {
+    std::span<const std::uint8_t> raw, std::size_t count) {
   Reader r(raw);
   std::vector<std::optional<Bytes>> out(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -48,7 +51,7 @@ std::vector<GradedValue> run_batch(net::PartyContext& ctx,
   if (is_leader[static_cast<std::size_t>(ctx.id())] && my_input) {
     ctx.send_all(*my_input);
   }
-  std::vector<std::optional<Bytes>> received(nn);
+  std::vector<std::optional<net::Payload>> received(nn);  // views, no copy
   for (const auto& e : net::first_per_sender(ctx.advance())) {
     if (is_leader[static_cast<std::size_t>(e.from)]) {
       received[static_cast<std::size_t>(e.from)] = e.payload;

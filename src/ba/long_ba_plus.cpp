@@ -32,7 +32,7 @@ struct Tuple {
   MerkleWitness witness;
 };
 
-std::optional<Tuple> decode_tuple(const Bytes& raw) {
+std::optional<Tuple> decode_tuple(std::span<const std::uint8_t> raw) {
   Reader r(raw);
   const auto index = r.u32();
   if (!index) return std::nullopt;
@@ -51,7 +51,8 @@ std::optional<Tuple> decode_tuple(const Bytes& raw) {
 
 }  // namespace
 
-MaybeBytes LongBAPlus::run(net::PartyContext& ctx, const Bytes& input) const {
+MaybeBytes LongBAPlus::run(net::PartyContext& ctx,
+                           std::span<const std::uint8_t> input) const {
   const std::size_t n = static_cast<std::size_t>(ctx.n());
   const std::size_t t = static_cast<std::size_t>(ctx.t());
   const std::size_t k = n - t;
@@ -66,7 +67,7 @@ MaybeBytes LongBAPlus::run(net::PartyContext& ctx, const Bytes& input) const {
   {
     Writer w;
     w.u64(input.size());
-    w.raw(std::span<const std::uint8_t>(input.data(), input.size()));
+    w.raw(input);
     payload = std::move(w).take();
   }
   const std::vector<Bytes> shares = rs.encode(payload);

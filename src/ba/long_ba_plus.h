@@ -24,7 +24,11 @@ class LongBAPlus {
 
   /// Joins with an arbitrary-length input; returns the agreed value
   /// (an honest party's input) or bottom.
-  MaybeBytes run(net::PartyContext& ctx, const Bytes& input) const;
+  /// Span-typed input: accepts owned Bytes and zero-copy payload views
+  /// alike (the extension-broadcast caller feeds received wire payloads
+  /// straight in); the bytes are only read during the call.
+  MaybeBytes run(net::PartyContext& ctx,
+                 std::span<const std::uint8_t> input) const;
 
  private:
   BAPlus ba_plus_;

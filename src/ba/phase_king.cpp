@@ -65,7 +65,9 @@ MaybeBytes PhaseKingMultivalued::run(net::PartyContext& ctx,
   for (int phase = 0; phase <= t; ++phase) {
     // Round 1: exchange v; adopt the unique value with >= n-t occurrences.
     ctx.send_all(encode_maybe(v));
-    std::map<Bytes, int> counts;
+    // Payload-view keys: counting costs refcount bumps, not byte copies,
+    // and the key order is the same lexicographic byte order as before.
+    std::map<net::Payload, int> counts;
     for (const auto& e : net::first_per_sender(ctx.advance())) {
       if (decode_maybe(e.payload)) ++counts[e.payload];
     }
@@ -83,7 +85,7 @@ MaybeBytes PhaseKingMultivalued::run(net::PartyContext& ctx,
     // real value, ties to the lexicographically smallest encoding; when no
     // real value was seen at all, m falls back to domain bottom.
     ctx.send_all(have_u ? encode_maybe(u) : Bytes{kNoneTag});
-    std::map<Bytes, int> d;
+    std::map<net::Payload, int> d;
     for (const auto& e : net::first_per_sender(ctx.advance())) {
       if (decode_maybe(e.payload)) ++d[e.payload];
     }

@@ -16,12 +16,14 @@ MaybeBytes TurpinCoan::run(net::PartyContext& ctx,
   // Round 1: distribute inputs; y is the unique value received from >= n-t
   // senders, if any (two values cannot both qualify when t < n/2).
   ctx.send_all(encode_maybe(input));
-  std::map<Bytes, int> counts;
+  // Payload-view keys: counting and re-sending the winning encoding are
+  // pure view operations -- no byte is copied between receive and echo.
+  std::map<net::Payload, int> counts;
   for (const auto& e : net::first_per_sender(ctx.advance())) {
     if (decode_maybe(e.payload)) ++counts[e.payload];
   }
   bool have_y = false;
-  Bytes y_enc;
+  net::Payload y_enc;
   for (const auto& [enc, cnt] : counts) {
     if (cnt >= n - t) {
       y_enc = enc;
@@ -32,8 +34,8 @@ MaybeBytes TurpinCoan::run(net::PartyContext& ctx,
 
   // Round 2: distribute y (or none). Honest y's can name at most one value,
   // so a value echoed by >= n-t senders certifies near pre-agreement.
-  ctx.send_all(have_y ? y_enc : Bytes{kNoneTag});
-  std::map<Bytes, int> echoes;
+  ctx.send_all(have_y ? y_enc : net::Payload(Bytes{kNoneTag}));
+  std::map<net::Payload, int> echoes;
   for (const auto& e : net::first_per_sender(ctx.advance())) {
     if (decode_maybe(e.payload)) ++echoes[e.payload];
   }

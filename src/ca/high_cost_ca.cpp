@@ -15,7 +15,7 @@ Bytes encode_nat(const BigNat& v) {
   return std::move(w).take();
 }
 
-std::optional<BigNat> decode_nat(const Bytes& raw) {
+std::optional<BigNat> decode_nat(std::span<const std::uint8_t> raw) {
   Reader r(raw);
   auto v = r.bignat();
   if (!v || !r.at_end()) return std::nullopt;

@@ -8,6 +8,8 @@ namespace {
 
 std::atomic<std::uint64_t> g_copies{0};
 std::atomic<std::uint64_t> g_bytes_copied{0};
+std::atomic<std::uint64_t> g_wire_copies{0};
+std::atomic<std::uint64_t> g_wire_bytes_copied{0};
 // Per-thread shadows of the globals: a run attributes copies to itself by
 // diffing the counters of the threads *it* executed on, so two concurrent
 // runs (fuzzer sweeps, threaded ctest) never cross-contaminate.
@@ -40,6 +42,20 @@ void PayloadMetrics::thread_set(std::uint64_t copies,
                                 std::uint64_t bytes_copied) {
   t_copies = copies;
   t_bytes_copied = bytes_copied;
+}
+
+std::uint64_t PayloadMetrics::wire_copies() {
+  return g_wire_copies.load(std::memory_order_relaxed);
+}
+
+std::uint64_t PayloadMetrics::wire_bytes_copied() {
+  return g_wire_bytes_copied.load(std::memory_order_relaxed);
+}
+
+void PayloadMetrics::add_wire_copy(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  g_wire_copies.fetch_add(1, std::memory_order_relaxed);
+  g_wire_bytes_copied.fetch_add(bytes, std::memory_order_relaxed);
 }
 
 Payload Payload::copy_of(const Bytes& bytes) {

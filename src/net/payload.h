@@ -21,11 +21,19 @@
 //     `RunStats::payload_copies` / `payload_bytes_copied`, so "zero-copy" is
 //     asserted by tests, not assumed.
 //
-// For protocol code the type is Bytes-compatible: a full-buffer view
-// converts implicitly to `const Bytes&` (free), so `Reader r(e.payload)`,
-// map keys, and comparisons keep working unchanged.
+// For protocol code the type is span-compatible: every view converts
+// implicitly to `std::span<const uint8_t>` (free), so `Reader r(e.payload)`
+// and the `decode_*(span)` helpers work on full buffers and on slab slices
+// alike. There is deliberately NO implicit conversion to `const Bytes&`:
+// payloads arriving over the wire are views into pooled receive slabs (see
+// net/buffer_pool.h) with nonzero offsets, and a hidden materialization
+// would silently re-copy the bytes the zero-copy receive path just avoided
+// copying. Code that genuinely needs owning bytes says so: `owned()` for
+// protocol-local adoption (uncounted, like any other protocol-side copy),
+// `to_bytes()`/`detach()` for substrate-metered copies.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -49,6 +57,16 @@ struct PayloadMetrics {
   /// the per-thread pair: save with the getters at park, restore with this
   /// at resume, so each run's before/after diff covers only its own copies.
   static void thread_set(std::uint64_t copies, std::uint64_t bytes_copied);
+
+  /// Wire-side copy counters: bytes the *transport* memcpy'd that are not
+  /// protocol payload copies -- today only the FrameDecoder's partial-frame
+  /// remainder move when it switches receive slabs. Kept separate from
+  /// `copies()` because RunStats::payload_copies must stay bit-identical
+  /// between the simulator and the wire path; these are process-wide only
+  /// (no thread shadow) and are sampled by bench_runner's wire probe.
+  static std::uint64_t wire_copies();
+  static std::uint64_t wire_bytes_copied();
+  static void add_wire_copy(std::uint64_t bytes);
 };
 
 class Payload {
@@ -64,6 +82,18 @@ class Payload {
       : buf_(std::make_shared<Bytes>(std::move(bytes))),
         len_(buf_->size()) {}
 
+  /// View of `[offset, offset+length)` within an externally shared buffer
+  /// -- the decoder's slab-view constructor: the frame payload aliases the
+  /// receive slab and the slab returns to its pool when the last view
+  /// drops. The window must be in range and the viewed bytes must never be
+  /// mutated while any view exists (the decoder's slabs are append-only).
+  Payload(std::shared_ptr<Bytes> buf, std::size_t offset, std::size_t length)
+      : buf_(std::move(buf)), off_(offset), len_(length) {
+    require(buf_ && offset + length <= buf_->size(),
+            "Payload: slab view out of range");
+    if (len_ == 0) buf_.reset();
+  }
+
   /// Deep-copies `bytes` into a fresh buffer (counted).
   static Payload copy_of(const Bytes& bytes);
 
@@ -78,17 +108,32 @@ class Payload {
     return buf_ ? std::span<const std::uint8_t>(buf_->data() + off_, len_)
                 : std::span<const std::uint8_t>();
   }
+  /// Implicit span view (free): lets payloads flow into `Reader` and the
+  /// span-typed `decode_*` helpers whether they are full buffers or slab
+  /// slices.
+  operator std::span<const std::uint8_t>() const { return span(); }  // NOLINT(google-explicit-constructor)
+
+  const std::uint8_t* begin() const { return data(); }
+  const std::uint8_t* end() const { return data() + len_; }
 
   /// The view as a `const Bytes&`, free of charge. Requires a full-buffer
-  /// view (every payload on the wire path is one); sliced views must go
-  /// through span() or to_bytes().
+  /// view; sliced views (wire-path slab views are sliced by construction)
+  /// must go through span(), owned() or to_bytes().
   const Bytes& bytes() const {
     if (!buf_) return empty_bytes();
     ensure(off_ == 0 && len_ == buf_->size(),
            "Payload::bytes: sliced view has no Bytes representation");
     return *buf_;
   }
-  operator const Bytes&() const { return bytes(); }  // NOLINT(google-explicit-constructor)
+
+  /// Owned deep copy of the viewed bytes, NOT counted in PayloadMetrics:
+  /// for protocol-local adoption of a received value (map keys, stored
+  /// state), which was an implicit uncounted copy before payloads became
+  /// slab views. Substrate-metered paths use to_bytes()/detach() instead.
+  Bytes owned() const {
+    const auto s = span();
+    return Bytes(s.begin(), s.end());
+  }
 
   /// Owned deep copy of the viewed bytes (counted).
   Bytes to_bytes() const;
@@ -117,6 +162,16 @@ class Payload {
   }
   bool operator==(const Bytes& other) const {
     return std::ranges::equal(span(), std::span<const std::uint8_t>(other));
+  }
+
+  /// Lexicographic content order, identical to `Bytes` ordering -- payload
+  /// keyed maps (vote counting) keep the deterministic tiebreak the
+  /// protocols relied on when they keyed by materialized Bytes.
+  bool operator<(const Payload& other) const {
+    const auto a = span();
+    const auto b = other.span();
+    return std::lexicographical_compare(a.begin(), a.end(),
+                                        b.begin(), b.end());
   }
 
  private:

@@ -25,6 +25,7 @@ Bytes u32_payload(std::uint32_t v) {
 
 WireClient::WireClient(Fd fd, ClientOptions options)
     : options_(options), fd_(std::move(fd)) {
+  set_socket_buffers(fd_.get(), options_.socket_buffer_bytes);
   reader_ = std::thread([this] { reader_loop(); });
 }
 
@@ -54,12 +55,15 @@ bool WireClient::disconnected() const {
 
 void WireClient::reader_loop() {
   FrameDecoder decoder;
-  std::uint8_t buf[64 * 1024];
+  constexpr std::size_t kReadChunk = 64 * 1024;
   std::string reason;
   for (;;) {
-    const ssize_t got = ::read(fd_.get(), buf, sizeof(buf));
+    // Zero-copy receive: fill the decoder's pool slab directly; decoded
+    // kDeliver payloads are views into it and flow to the protocol as-is.
+    const std::span<std::uint8_t> w = decoder.writable(kReadChunk);
+    const ssize_t got = ::read(fd_.get(), w.data(), w.size());
     if (got > 0) {
-      decoder.feed(buf, static_cast<std::size_t>(got));
+      decoder.commit(static_cast<std::size_t>(got));
       while (std::optional<Frame> f = decoder.next()) {
         dispatch(std::move(*f));
       }
@@ -99,9 +103,11 @@ void WireClient::dispatch(Frame f) {
       in.open_acked = true;
       break;
     case FrameType::kDeliver:
+      // The payload is already a slab view; it rides into the engine's
+      // round messages without ever being materialized.
       in.delivered.push_back({static_cast<int>(f.header.from),
                               static_cast<int>(f.header.to),
-                              net::Payload(std::move(f.payload))});
+                              std::move(f.payload)});
       return;  // no wakeup per message; the commit barrier notifies
     case FrameType::kCommit:
       in.round_done = true;

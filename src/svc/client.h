@@ -41,6 +41,10 @@ struct ClientOptions {
   int round_timeout_ms = 30'000;
   /// Upper bound on session open/close handshakes.
   int handshake_timeout_ms = 10'000;
+  /// SO_RCVBUF/SO_SNDBUF request (0 = kernel default); mirrors
+  /// DaemonOptions::socket_buffer_bytes so a whole round fits in flight in
+  /// both directions.
+  int socket_buffer_bytes = 256 * 1024;
 };
 
 class WireClient;

@@ -63,50 +63,90 @@ Bytes encode_frame(const FrameHeader& h,
   return out;
 }
 
+std::span<std::uint8_t> FrameDecoder::writable(std::size_t min) {
+  require(min > 0 && min <= kHeaderSize + std::size_t{kMaxFramePayload},
+          "FrameDecoder::writable: bad size hint");
+  if (slab_ && slab_->size() - filled_ >= min) {
+    return {slab_->data() + filled_, slab_->size() - filled_};
+  }
+  // The current slab is short (or absent): move to a fresh pool slab,
+  // carrying over the partial frame at the buffer's tail, if any. Slabs are
+  // append-only while payload views exist, so this relocation -- never an
+  // in-place rewind -- is the only way buffered bytes ever move; it is the
+  // wire path's sole memcpy and is metered as such.
+  const std::size_t remainder = filled_ - off_;
+  std::size_t needed = remainder + min;
+  if (remainder >= kHeaderSize) {
+    // The pending frame's header is visible: size the new slab for the
+    // whole frame up front, so however fragmented its arrival, the frame
+    // relocates at most once (and only its currently-buffered prefix).
+    // A length above the limit is a stream about to fail; ignore the hint.
+    const std::uint64_t payload_len = get_u32(slab_->data() + off_ + 20);
+    if (payload_len <= kMaxFramePayload) {
+      needed = std::max(needed,
+                        kHeaderSize + static_cast<std::size_t>(payload_len));
+    }
+  }
+  std::shared_ptr<Bytes> fresh =
+      net::BufferPool::instance().acquire(std::max(needed, kSlabChunk));
+  if (remainder > 0) {
+    std::memcpy(fresh->data(), slab_->data() + off_, remainder);
+    net::PayloadMetrics::add_wire_copy(remainder);
+  }
+  slab_ = std::move(fresh);
+  off_ = 0;
+  filled_ = remainder;
+  return {slab_->data() + filled_, slab_->size() - filled_};
+}
+
+void FrameDecoder::commit(std::size_t n) {
+  require(slab_ && filled_ + n <= slab_->size(),
+          "FrameDecoder::commit: beyond the writable span");
+  filled_ += n;
+}
+
 void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
   if (failed() || len == 0) return;
-  // Compact lazily: only when the consumed prefix dominates the buffer, so
-  // a steady stream of small frames does one memmove per buffer's worth of
-  // input, not one per frame.
-  if (off_ > 0 && off_ >= buf_.size() / 2) {
-    buf_.erase(buf_.begin(),
-               buf_.begin() + static_cast<std::ptrdiff_t>(off_));
-    off_ = 0;
+  while (len > 0) {
+    const std::span<std::uint8_t> w = writable(std::min(len, kSlabChunk));
+    const std::size_t n = std::min(len, w.size());
+    std::memcpy(w.data(), data, n);
+    commit(n);
+    data += n;
+    len -= n;
   }
-  buf_.insert(buf_.end(), data, data + len);
+}
+
+void FrameDecoder::fail(std::string reason) {
+  error_ = std::move(reason);
+  slab_.reset();  // drop buffered bytes; the stream is already lost
+  off_ = 0;
+  filled_ = 0;
 }
 
 std::optional<Frame> FrameDecoder::next() {
   if (failed()) return std::nullopt;
-  if (buf_.size() - off_ < kHeaderSize) return std::nullopt;
-  const std::uint8_t* p = buf_.data() + off_;
+  if (filled_ - off_ < kHeaderSize) return std::nullopt;
+  const std::uint8_t* p = slab_->data() + off_;
   if (get_u32(p) != kFrameMagic) {
-    error_ = "bad frame magic (desynced or non-coca stream)";
-    buf_.clear();
-    off_ = 0;
+    fail("bad frame magic (desynced or non-coca stream)");
     return std::nullopt;
   }
   if (p[4] != kWireVersion) {
-    error_ = "unsupported wire version " + std::to_string(p[4]);
-    buf_.clear();
-    off_ = 0;
+    fail("unsupported wire version " + std::to_string(p[4]));
     return std::nullopt;
   }
   if (!valid_frame_type(p[5])) {
-    error_ = "unknown frame type " + std::to_string(p[5]);
-    buf_.clear();
-    off_ = 0;
+    fail("unknown frame type " + std::to_string(p[5]));
     return std::nullopt;
   }
   const std::uint32_t payload_len = get_u32(p + 20);
   if (payload_len > kMaxFramePayload) {
-    error_ = "frame payload length " + std::to_string(payload_len) +
-             " exceeds limit";
-    buf_.clear();
-    off_ = 0;
+    fail("frame payload length " + std::to_string(payload_len) +
+         " exceeds limit");
     return std::nullopt;
   }
-  if (buf_.size() - off_ < kHeaderSize + payload_len) return std::nullopt;
+  if (filled_ - off_ < kHeaderSize + payload_len) return std::nullopt;
 
   Frame f;
   f.header.type = static_cast<FrameType>(p[5]);
@@ -115,11 +155,16 @@ std::optional<Frame> FrameDecoder::next() {
   f.header.round = get_u32(p + 12);
   f.header.from = get_u16(p + 16);
   f.header.to = get_u16(p + 18);
-  f.payload.assign(p + kHeaderSize, p + kHeaderSize + payload_len);
+  if (payload_len > 0) {
+    f.payload = net::Payload(slab_, off_ + kHeaderSize, payload_len);
+  }
   off_ += kHeaderSize + payload_len;
-  if (off_ == buf_.size()) {
-    buf_.clear();
+  if (off_ == filled_ && f.payload.empty() && slab_->size() == filled_) {
+    // Fully consumed slab with no view handed out of this frame: release
+    // it now instead of waiting for the next writable() switch.
+    slab_.reset();
     off_ = 0;
+    filled_ = 0;
   }
   return f;
 }

@@ -37,14 +37,30 @@
 // many frames per read) and malformed input -- bad magic, unknown
 // version/type, oversized or truncated length -- moves the decoder into a
 // sticky failed state instead of UB. tests/test_frame.cpp tortures it.
+//
+// Zero-copy receive: the decoder buffers the stream in pooled slabs
+// (net::BufferPool) and yields frames whose payloads are `net::Payload`
+// views into the slab -- no per-frame copy. Socket readers skip even the
+// staging copy by reading straight into `writable()` and calling
+// `commit()`; `feed()` remains as the copying convenience for tests and
+// adversarial fragment torture. Slabs are append-only while views exist;
+// a slab returns to the pool when the decoder moves past it and every
+// payload view has dropped. The only bytes the decoder ever copies are a
+// partial frame's prefix when the current slab runs out mid-frame
+// (counted in PayloadMetrics::wire_copies); because the needed slab size
+// is known as soon as the 24-byte header is visible, a frame pays that at
+// most once regardless of how fragmented its arrival is.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "net/buffer_pool.h"
 #include "net/payload.h"
 #include "util/common.h"
 
@@ -83,10 +99,12 @@ struct FrameHeader {
   bool operator==(const FrameHeader&) const = default;
 };
 
-/// One decoded frame. The payload is owned (materialized off the wire).
+/// One decoded frame. The payload is a refcounted view into the decoder's
+/// receive slab (equality is content equality); it pins the slab until
+/// dropped, and `std::move(f.payload)` hands the view on without a copy.
 struct Frame {
   FrameHeader header;
-  Bytes payload;
+  net::Payload payload;
 
   bool operator==(const Frame&) const = default;
 };
@@ -104,8 +122,19 @@ Bytes encode_frame(const FrameHeader& h,
 /// Incremental frame parser over an arbitrarily fragmented byte stream.
 class FrameDecoder {
  public:
-  /// Appends raw bytes off the socket. Cheap after failure (bytes are
-  /// dropped; the stream is already lost).
+  /// Slab tail readers fill directly (the zero-copy receive path):
+  /// guarantees at least `min` writable bytes -- switching to a fresh pool
+  /// slab when the current one is short, carrying over any partial frame --
+  /// and returns the whole writable tail (usually much larger than `min`).
+  /// `min` must be at most kMaxFramePayload + kHeaderSize. Do not call
+  /// after failed().
+  std::span<std::uint8_t> writable(std::size_t min = 1);
+  /// Marks `n` bytes of the last writable() span as filled by the reader.
+  void commit(std::size_t n);
+
+  /// Appends raw bytes off the socket (one staging copy into the slab;
+  /// tests and torture harnesses). Cheap after failure (bytes are dropped;
+  /// the stream is already lost).
   void feed(const std::uint8_t* data, std::size_t len);
   void feed(std::span<const std::uint8_t> data) {
     feed(data.data(), data.size());
@@ -113,7 +142,8 @@ class FrameDecoder {
 
   /// Pops the next complete frame, or nullopt when the buffer holds only a
   /// partial frame (or the decoder failed). Call in a loop: one feed() may
-  /// complete many frames.
+  /// complete many frames. The frame's payload is a view into the receive
+  /// slab -- holding it defers the slab's return to the pool.
   std::optional<Frame> next();
 
   /// Sticky malformed-stream state; `error()` says what broke.
@@ -121,11 +151,17 @@ class FrameDecoder {
   const std::string& error() const { return error_; }
 
   /// Bytes currently buffered (tests).
-  std::size_t buffered() const { return buf_.size() - off_; }
+  std::size_t buffered() const { return filled_ - off_; }
 
  private:
-  std::vector<std::uint8_t> buf_;
-  std::size_t off_ = 0;  // consumed prefix of buf_
+  /// Default slab request: one socket read's worth.
+  static constexpr std::size_t kSlabChunk = 64 * 1024;
+
+  void fail(std::string reason);
+
+  std::shared_ptr<Bytes> slab_;  // current receive slab (append-only)
+  std::size_t off_ = 0;          // parse cursor within slab_
+  std::size_t filled_ = 0;       // committed bytes within slab_
   std::string error_;
 };
 

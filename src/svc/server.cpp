@@ -19,11 +19,15 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::uint16_t read_u16(const Bytes& b, std::size_t off) {
+/// Bytes asked of the socket per read; the decoder returns at least this
+/// much writable slab tail.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+std::uint16_t read_u16(std::span<const std::uint8_t> b, std::size_t off) {
   return static_cast<std::uint16_t>(b[off] | (b[off + 1] << 8));
 }
 
-std::uint32_t read_u32(const Bytes& b, std::size_t off) {
+std::uint32_t read_u32(std::span<const std::uint8_t> b, std::size_t off) {
   return static_cast<std::uint32_t>(b[off]) |
          (static_cast<std::uint32_t>(b[off + 1]) << 8) |
          (static_cast<std::uint32_t>(b[off + 2]) << 16) |
@@ -46,13 +50,15 @@ struct Daemon::Conn {
   Fd fd;
   FrameDecoder decoder;
 
-  /// One queued outbound frame: fixed header + owned payload, with a write
-  /// cursor for partial sends. The payload buffer is the one that came off
-  /// the wire (moved, never copied) -- the daemon's routing fast path is
-  /// allocation-free per message apart from the queue node.
+  /// One queued outbound frame: fixed header + payload view, with a write
+  /// cursor for partial sends. The payload is the *view into the receive
+  /// slab* that came off the wire (moved, never copied): a relayed message
+  /// is a rewritten 24-byte header plus an iovec over the original
+  /// received bytes, so the daemon's routing fast path touches no payload
+  /// byte and allocates nothing per message apart from the queue node.
   struct OutFrame {
     std::array<std::uint8_t, kHeaderSize> header;
-    Bytes payload;
+    net::Payload payload;
     std::size_t off = 0;  // bytes of (header + payload) already written
   };
   std::deque<OutFrame> out;
@@ -140,6 +146,7 @@ void Daemon::accept_ready(Fd& listener) {
     }
     set_nonblocking(fd);
     set_nodelay(fd);
+    set_socket_buffers(fd, options_.socket_buffer_bytes);
     auto conn = std::make_unique<Conn>();
     conn->fd = Fd(fd);
     conns_.emplace(fd, std::move(conn));
@@ -164,13 +171,15 @@ void Daemon::conn_ready(int fd, std::uint32_t events) {
   }
   if ((events & EPOLLIN) == 0) return;
 
-  std::uint8_t buf[64 * 1024];
   for (;;) {
-    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    // Zero-copy receive: the socket fills the decoder's pool slab directly;
+    // decoded frame payloads are views into that same slab.
+    const std::span<std::uint8_t> w = c.decoder.writable(kReadChunk);
+    const ssize_t got = ::read(fd, w.data(), w.size());
     if (got > 0) {
       stats_.bytes_received.fetch_add(static_cast<std::uint64_t>(got),
                                       std::memory_order_relaxed);
-      c.decoder.feed(buf, static_cast<std::size_t>(got));
+      c.decoder.commit(static_cast<std::size_t>(got));
       while (std::optional<Frame> f = c.decoder.next()) {
         stats_.frames_received.fetch_add(1, std::memory_order_relaxed);
         handle_frame(c, std::move(*f));
@@ -261,11 +270,16 @@ void Daemon::handle_frame(Conn& c, Frame f) {
         return;
       }
       // Route: every staged message goes back out as kDeliver, in the
-      // exact order the client committed it, then the round barrier.
+      // exact order the client committed it, then the round barrier. The
+      // whole round is corked -- queued without an intermediate flush --
+      // and shipped in one gather batch, so a round costs O(1) writev
+      // calls instead of one per message. Each kDeliver is a rewritten
+      // header plus the original received payload view: no encode, no
+      // memcpy.
       for (Frame& m : s.staged) {
         FrameHeader h = m.header;
         h.type = FrameType::kDeliver;
-        send_frame(c, h, std::move(m.payload));
+        queue_frame(c, h, std::move(m.payload));
       }
       s.staged.clear();
       FrameHeader h;
@@ -303,24 +317,31 @@ void Daemon::handle_frame(Conn& c, Frame f) {
   }
 }
 
-void Daemon::send_frame(Conn& c, const FrameHeader& h, Bytes payload) {
+void Daemon::queue_frame(Conn& c, const FrameHeader& h, net::Payload payload) {
   require(payload.size() <= kMaxFramePayload,
-          "Daemon::send_frame: payload too big");
+          "Daemon::queue_frame: payload too big");
   Conn::OutFrame of;
   of.header = encode_header(h, static_cast<std::uint32_t>(payload.size()));
   of.payload = std::move(payload);
   c.out.push_back(std::move(of));
+}
+
+void Daemon::send_frame(Conn& c, const FrameHeader& h, net::Payload payload) {
+  queue_frame(c, h, std::move(payload));
   flush(c);
 }
 
 void Daemon::flush(Conn& c) {
   const int fd = c.fd.get();
   while (!c.out.empty()) {
-    // Gather up to 32 queued frames (64 iovecs) per writev.
-    iovec iov[64];
+    // Gather up to 128 queued frames (256 iovecs) per sendmsg: a whole
+    // committed round of kDeliver frames plus the barrier normally leaves
+    // in one syscall (IOV_MAX is 1024 on Linux; 256 keeps the stack array
+    // at 4 KiB).
+    iovec iov[256];
     int iovcnt = 0;
     for (const Conn::OutFrame& of : c.out) {
-      if (iovcnt + 2 > 64) break;
+      if (iovcnt + 2 > 256) break;
       std::size_t off = of.off;
       if (off < kHeaderSize) {
         iov[iovcnt].iov_base =

@@ -51,6 +51,11 @@ struct DaemonOptions {
   /// (RST-style, no goodbye frames) as soon as any of its sessions commits
   /// this many rounds. 0 = disabled.
   int drop_connection_after_rounds = 0;
+  /// SO_RCVBUF/SO_SNDBUF request for accepted connections (0 = kernel
+  /// default). A whole round of kDeliver frames is flushed in one gather
+  /// batch, so the send buffer should hold a full round to keep the flush
+  /// to a single writev on the loopback fast path.
+  int socket_buffer_bytes = 256 * 1024;
 };
 
 /// Loop-thread-owned counters, readable from any thread.
@@ -92,7 +97,11 @@ class Daemon {
   void accept_ready(Fd& listener);
   void conn_ready(int fd, std::uint32_t events);
   void handle_frame(Conn& c, Frame f);
-  void send_frame(Conn& c, const FrameHeader& h, Bytes payload);
+  /// Enqueues one outbound frame without flushing -- the payload view is
+  /// moved, never copied (the round-routing path corks all kDeliver frames
+  /// plus the kCommit barrier, then flushes once).
+  void queue_frame(Conn& c, const FrameHeader& h, net::Payload payload);
+  void send_frame(Conn& c, const FrameHeader& h, net::Payload payload);
   void flush(Conn& c);
   void close_conn(int fd);
   void sweep_idle();

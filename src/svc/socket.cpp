@@ -115,4 +115,12 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
+void set_socket_buffers(int fd, int bytes) {
+  if (bytes <= 0) return;
+  // Best effort: the kernel clamps to wmem_max/rmem_max; a short buffer
+  // only costs extra epoll round-trips, never correctness.
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
+}
+
 }  // namespace coca::svc

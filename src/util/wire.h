@@ -30,7 +30,7 @@ class Writer {
   void u32(std::uint32_t v) { put_le(v, 4); }
   void u64(std::uint64_t v) { put_le(v, 8); }
 
-  void bytes(const Bytes& b) {
+  void bytes(std::span<const std::uint8_t> b) {
     u32(narrow<std::uint32_t>(b.size()));
     buf_.insert(buf_.end(), b.begin(), b.end());
   }

@@ -21,7 +21,7 @@ std::vector<Bytes> probe_strategy(std::shared_ptr<net::ByzantineStrategy> s,
     for (int r = 0; r < rounds; ++r) {
       ctx.send_all(Bytes{0xBE, static_cast<std::uint8_t>(r)});
       for (const auto& e : ctx.advance()) {
-        if (e.from == 2) from_byz.push_back(e.payload);
+        if (e.from == 2) from_byz.push_back(e.payload.owned());
       }
     }
   });
@@ -210,7 +210,7 @@ TEST(Installer, SilentMatchesScriptedSilentBitForBit) {
           ctx.send_all(Bytes{static_cast<std::uint8_t>(id),
                              static_cast<std::uint8_t>(r)});
           for (const auto& e : ctx.advance()) {
-            if (id == 0) probe.received.emplace_back(e.from, e.payload);
+            if (id == 0) probe.received.emplace_back(e.from, e.payload.owned());
           }
         }
       });

@@ -174,7 +174,7 @@ TEST(SyncFaults, CrashRecoveryResumesFromTheFrozenStack) {
         ctx.send_all(Bytes{static_cast<std::uint8_t>(ctx.id()), k});
         std::vector<std::uint8_t> counters;
         for (const auto& e : first_per_sender(ctx.advance())) {
-          counters.push_back(Bytes(e.payload).at(1));
+          counters.push_back(e.payload[1]);
         }
         seen[static_cast<std::size_t>(id)].push_back(std::move(counters));
       }

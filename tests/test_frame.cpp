@@ -95,6 +95,45 @@ TEST(Frame, OneByteFragmentation) {
   EXPECT_EQ(dec.buffered(), 0u);
 }
 
+TEST(Frame, HugeFrameFragmentedAtEveryOffsetRelocatesAtMostOnce) {
+  // Regression for the pre-slab compaction pathology: a large frame arriving
+  // a byte at a time used to shift the whole partial frame on every feed
+  // (quadratic in the payload length). With reserve-on-header the decoder
+  // sizes a slab for the full frame as soon as the header's payload_len is
+  // visible, so the partial frame relocates at most once -- the wire-copy
+  // counters bound the total moved bytes by one pre-reservation chunk.
+  constexpr std::size_t kMiB = std::size_t{1} << 20;
+  Frame f = sample_frame(9);
+  Rng rng(0x1F0);
+  f.payload = rng.bytes(kMiB);
+  const Bytes stream = wire_bytes(f);
+
+  const std::uint64_t copies_before = net::PayloadMetrics::wire_copies();
+  const std::uint64_t bytes_before = net::PayloadMetrics::wire_bytes_copied();
+  FrameDecoder dec;
+  std::optional<Frame> got;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    dec.feed(stream.data() + i, 1);
+    ASSERT_FALSE(dec.failed());
+    if (std::optional<Frame> out = dec.next()) {
+      ASSERT_FALSE(got.has_value()) << "one frame in, one frame out";
+      got = std::move(*out);
+      ASSERT_EQ(i, stream.size() - 1) << "frame completed early";
+    }
+  }
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, f);
+
+  const std::uint64_t relocations =
+      net::PayloadMetrics::wire_copies() - copies_before;
+  const std::uint64_t moved =
+      net::PayloadMetrics::wire_bytes_copied() - bytes_before;
+  EXPECT_LE(relocations, 1u);
+  // At most the bytes buffered before the header completed (< one 64 KiB
+  // read chunk); the 1 MiB payload body must never be moved.
+  EXPECT_LE(moved, std::uint64_t{64} << 10);
+}
+
 TEST(Frame, ManyFramesPerFeedAndSplitFrames) {
   // Random fragmentation: chunk boundaries land mid-header, mid-payload,
   // and across frame boundaries; several complete frames arrive per chunk.

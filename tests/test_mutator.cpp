@@ -54,7 +54,7 @@ std::vector<Sent> sent_by(const net::Transcript& t, int from) {
   std::vector<Sent> out;
   for (std::size_t r = 0; r < t.rounds.size(); ++r) {
     for (const auto& m : t.rounds[r].messages) {
-      if (m.from == from) out.push_back({r, m.to, m.payload});
+      if (m.from == from) out.push_back({r, m.to, m.payload.owned()});
     }
   }
   return out;
@@ -202,8 +202,8 @@ TEST(Mutator, OpCountsCoverEveryOperatorUnderDefaultWeights) {
   config.n = 4;
   Mutator mutator(config);
   std::vector<std::pair<int, Bytes>> emitted;
-  const net::SendTap::Emit emit = [&](int to, Bytes payload) {
-    emitted.emplace_back(to, std::move(payload));
+  const net::SendTap::Emit emit = [&](int to, net::Payload payload) {
+    emitted.emplace_back(to, payload.owned());
   };
   for (std::size_t round = 0; round < 400; ++round) {
     mutator.on_round_start(round, emit);

@@ -127,7 +127,7 @@ TEST(SyncNetwork, RushingStrategySeesCurrentRoundTraffic) {
     void on_round(const RoundView& view,
                   const std::function<void(int, Bytes)>& send) override {
       for (const auto& sent : *view.honest_traffic) {
-        if (sent.from == 0 && sent.to == 1) send(1, *sent.payload);
+        if (sent.from == 0 && sent.to == 1) send(1, sent.payload->to_bytes());
       }
     }
   };
@@ -162,7 +162,7 @@ TEST(SyncNetwork, SplitBrainHalvesSeeWholeInboxButSplitRecipients) {
     net.set_honest(id, [&from3, id](PartyContext& ctx) {
       ctx.send_all(Bytes{static_cast<std::uint8_t>(id)});
       for (const auto& e : ctx.advance()) {
-        if (e.from == 3) from3[static_cast<std::size_t>(id)] = e.payload;
+        if (e.from == 3) from3[static_cast<std::size_t>(id)] = e.payload.owned();
       }
     });
   }

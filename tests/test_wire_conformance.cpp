@@ -21,6 +21,7 @@
 #include <gtest/gtest.h>
 
 #include "adversary/fuzzer.h"
+#include "net/buffer_pool.h"
 #include "svc/client.h"
 #include "svc/server.h"
 #include "svc/wire_network.h"
@@ -131,6 +132,38 @@ TEST_F(WireConformance, CrashFaultAllProtocols) {
     c.faults.crashes.push_back(crash);
     expect_conformant(c);
   }
+}
+
+TEST_F(WireConformance, RoundTripIsZeroCopyAndAllocationFree) {
+  // The tentpole invariant of the pooled receive path, asserted where the
+  // conformance gate runs: a full client -> daemon -> client hop performs
+  // zero counted payload copies (send side writes iovec views, receive
+  // side delivers slab views), and once the buffer pool is warm a whole
+  // session allocates no new slabs.
+  const auto broadcast_session = [this]() {
+    const auto session = client_->open(7, 2);
+    net::SyncNetwork net(7, 2);
+    net.set_round_router(session.get());
+    for (int i = 0; i < 7; ++i) {
+      net.set_honest(i, [](net::PartyContext& ctx) {
+        for (int r = 0; r < 5; ++r) {
+          Bytes big(4096, static_cast<std::uint8_t>(r));
+          ctx.send_all(std::move(big));
+          ctx.advance();
+        }
+      });
+    }
+    return net.run();
+  };
+  (void)broadcast_session();  // warm-up: pool reaches its high-water mark
+  const std::uint64_t warm =
+      net::BufferPool::instance().stats().slab_allocs;
+  const net::RunStats stats = broadcast_session();
+  const std::uint64_t steady =
+      net::BufferPool::instance().stats().slab_allocs - warm;
+  EXPECT_EQ(stats.payload_copies, 0u);
+  EXPECT_EQ(stats.payload_bytes_copied, 0u);
+  EXPECT_EQ(steady, 0u) << "steady-state sessions must reuse pooled slabs";
 }
 
 TEST_F(WireConformance, OsThreadBackendOverWire) {

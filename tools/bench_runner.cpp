@@ -19,8 +19,12 @@
 // fault matrix -- one crash-recovery configuration at f = t per protocol
 // target -- emitted as a separate "fault_entries" array so the honest
 // "entries" array stays byte-comparable against pre-fault baselines. The
-// JSON schema is versioned ("coca-bench-v1") so downstream tooling can
-// detect shape changes.
+// JSON schema is versioned ("coca-bench-v2") so downstream tooling can
+// detect shape changes. v2 is additive over v1: wire_entries rows gain
+// "copies_per_round" (decoder remainder relocations, from
+// PayloadMetrics::wire_copies) and "allocs_per_round" (fresh slab
+// allocations, from net::BufferPool stats); v1 consumers that ignore
+// unknown fields keep working.
 //
 // Exit status: 0 = success, 1 = a run failed agreement or a smoke invariant
 // (honest broadcast must perform zero deep payload copies), 2 = usage error.
@@ -43,6 +47,8 @@
 #include "engine/engine.h"
 #include "ca/broadcast_ca.h"
 #include "ca/driver.h"
+#include "net/buffer_pool.h"
+#include "net/payload.h"
 #include "net/sync_network.h"
 #include "svc/client.h"
 #include "svc/server.h"
@@ -245,6 +251,12 @@ struct WireResult {
   std::uint64_t honest_bits = 0;
   std::uint64_t rounds = 0;
   std::uint64_t payload_copies = 0;
+  /// v2 columns, sampled over the final (warmest) rep: decoder remainder
+  /// relocations and fresh slab allocations per protocol round. Both sit
+  /// at 0.000 in steady state -- the receive path reads into pooled slabs
+  /// and delivers views, so nothing is copied or allocated per round.
+  double copies_per_round = 0;
+  double allocs_per_round = 0;
 };
 
 /// With `external_uds` empty, stands up an in-process daemon serving both
@@ -307,9 +319,20 @@ std::vector<WireResult> run_wire_matrix(int reps,
           const auto session = client->open(c.n, c.t);
           adv::ExecHooks hooks;
           hooks.router = session.get();
+          const std::uint64_t copies_before = net::PayloadMetrics::wire_copies();
+          const std::uint64_t allocs_before =
+              net::BufferPool::instance().stats().slab_allocs;
           const auto start = std::chrono::steady_clock::now();
           const adv::FuzzOutcome wired = adv::execute_case(c, hooks);
           const auto stop = std::chrono::steady_clock::now();
+          if (wired.stats.rounds > 0) {
+            const double rounds_d = static_cast<double>(wired.stats.rounds);
+            row.copies_per_round = static_cast<double>(
+                net::PayloadMetrics::wire_copies() - copies_before) / rounds_d;
+            row.allocs_per_round = static_cast<double>(
+                net::BufferPool::instance().stats().slab_allocs -
+                allocs_before) / rounds_d;
+          }
           row.wire_seconds = std::min(
               row.wire_seconds,
               std::chrono::duration<double>(stop - start).count());
@@ -339,7 +362,9 @@ std::vector<WireResult> run_wire_matrix(int reps,
 /// Zero-copy over the wire: the same honest all-to-all broadcast as
 /// zero_copy_probe, but with every round crossing the UDS daemon. The send
 /// path writes (header, payload-view) iovecs straight from the protocol's
-/// buffers, so payload_copies must stay exactly zero end to end.
+/// buffers, and the receive path reads into pooled slabs and delivers
+/// views, so payload_copies must stay exactly zero end to end -- and once
+/// the pool is warm, a steady-state session must allocate no new slabs.
 bool wire_zero_copy_probe(std::string* detail) {
   const std::string uds_path =
       "/tmp/coca-bench-zc-" + std::to_string(::getpid()) + ".sock";
@@ -348,29 +373,38 @@ bool wire_zero_copy_probe(std::string* detail) {
   svc::Daemon daemon(dopt);
   daemon.start();
   net::RunStats stats;
+  std::uint64_t steady_slab_allocs = 0;
   {
     const auto client = svc::WireClient::connect_uds_path(uds_path);
-    const auto session = client->open(7, 2);
-    net::SyncNetwork net(7, 2);
-    net.set_round_router(session.get());
-    for (int i = 0; i < 7; ++i) {
-      net.set_honest(i, [](net::PartyContext& ctx) {
-        for (int r = 0; r < 5; ++r) {
-          Bytes big(4096, static_cast<std::uint8_t>(r));
-          ctx.send_all(std::move(big));
-          ctx.advance();
-        }
-      });
-    }
-    stats = net.run();
+    const auto broadcast_session = [&client]() {
+      const auto session = client->open(7, 2);
+      net::SyncNetwork net(7, 2);
+      net.set_round_router(session.get());
+      for (int i = 0; i < 7; ++i) {
+        net.set_honest(i, [](net::PartyContext& ctx) {
+          for (int r = 0; r < 5; ++r) {
+            Bytes big(4096, static_cast<std::uint8_t>(r));
+            ctx.send_all(std::move(big));
+            ctx.advance();
+          }
+        });
+      }
+      return net.run();
+    };
+    (void)broadcast_session();  // warm-up: the pool reaches its high-water
+    const std::uint64_t warm = net::BufferPool::instance().stats().slab_allocs;
+    stats = broadcast_session();
+    steady_slab_allocs =
+        net::BufferPool::instance().stats().slab_allocs - warm;
   }
   daemon.stop();
   ::unlink(uds_path.c_str());
   std::ostringstream os;
   os << "payload_copies=" << stats.payload_copies
-     << " payload_bytes_copied=" << stats.payload_bytes_copied;
+     << " payload_bytes_copied=" << stats.payload_bytes_copied
+     << " steady_state_slab_allocs=" << steady_slab_allocs;
   *detail = os.str();
-  return stats.payload_copies == 0;
+  return stats.payload_copies == 0 && steady_slab_allocs == 0;
 }
 
 struct Result {
@@ -459,7 +493,7 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
                 const std::vector<WireResult>& wire_results,
                 const std::string& baseline_text, bool smoke) {
   os << "{\n";
-  os << "  \"schema\": \"coca-bench-v1\",\n";
+  os << "  \"schema\": \"coca-bench-v2\",\n";
   os << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
   os << "  \"entries\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -543,12 +577,14 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
           "\"transport\": \"%s\", \"n\": 7, \"t\": 2, \"ell_bits\": 256, "
           "\"threads\": 1, \"seed\": %llu, \"sim_seconds\": %.6f, "
           "\"wire_seconds\": %.6f, \"honest_bits\": %llu, \"rounds\": %llu, "
-          "\"payload_copies\": %llu}%s",
+          "\"payload_copies\": %llu, \"copies_per_round\": %.3f, "
+          "\"allocs_per_round\": %.3f}%s",
           r.protocol.c_str(), r.transport,
           static_cast<unsigned long long>(r.seed), r.sim_seconds,
           r.wire_seconds, static_cast<unsigned long long>(r.honest_bits),
           static_cast<unsigned long long>(r.rounds),
           static_cast<unsigned long long>(r.payload_copies),
+          r.copies_per_round, r.allocs_per_round,
           i + 1 < wire_results.size() ? ",\n" : "\n");
       os << buf;
     }
