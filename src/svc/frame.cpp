@@ -33,7 +33,48 @@ std::uint32_t get_u32(const std::uint8_t* p) {
 
 bool valid_frame_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kOpen) &&
-         t <= static_cast<std::uint8_t>(FrameType::kError);
+         t <= static_cast<std::uint8_t>(FrameType::kPong);
+}
+
+Bytes encode_resume(const ResumeInfo& info) {
+  Bytes out(20);
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(info.token >> (8 * i));
+    out[8 + i] = static_cast<std::uint8_t>(info.completed >> (8 * i));
+  }
+  put_u16(out.data() + 16, info.n);
+  put_u16(out.data() + 18, info.t);
+  return out;
+}
+
+std::optional<ResumeInfo> decode_resume(std::span<const std::uint8_t> p) {
+  if (p.size() != 20) return std::nullopt;
+  ResumeInfo info;
+  for (int i = 0; i < 8; ++i) {
+    info.token |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    info.completed |= static_cast<std::uint64_t>(p[8 + i]) << (8 * i);
+  }
+  info.n = get_u16(p.data() + 16);
+  info.t = get_u16(p.data() + 18);
+  return info;
+}
+
+Bytes encode_u64_payload(std::uint64_t v) {
+  Bytes out(8);
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> decode_u64_payload(
+    std::span<const std::uint8_t> p) {
+  if (p.size() != 8) return std::nullopt;
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
 }
 
 std::array<std::uint8_t, kHeaderSize> encode_header(
@@ -115,6 +156,13 @@ void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
     data += n;
     len -= n;
   }
+}
+
+void FrameDecoder::reset() {
+  error_.clear();
+  slab_.reset();  // pool reclaims it once outstanding views drop
+  off_ = 0;
+  filled_ = 0;
 }
 
 void FrameDecoder::fail(std::string reason) {

@@ -20,17 +20,27 @@
 //       20     4  payload_len  <= kMaxFramePayload
 //
 // Frame types and their payloads:
-//   kOpen     client->server  u16 n, u16 t          open a session
-//   kOpenAck  server->client  (empty)               session is live
-//   kMsg      client->server  protocol message      one staged message
-//   kCommit   both ways       u32 count             round barrier: client
-//                             commits `count` staged kMsg frames; the
-//                             server echoes kCommit after the last
-//                             kDeliver of the round
-//   kDeliver  server->client  protocol message      one routed message
-//   kClose    client->server  (empty)               orderly session close
-//   kClosed   server->client  (empty)               close acknowledged
-//   kError    server->client  UTF-8 reason          session killed
+//   kOpen      client->server  u16 n, u16 t          open a session
+//   kOpenAck   server->client  u64 resume token      session is live; the
+//                              token names it across connections
+//   kMsg       client->server  protocol message      one staged message
+//   kCommit    both ways       u32 count             round barrier: client
+//                              commits `count` staged kMsg frames; the
+//                              server echoes kCommit after the last
+//                              kDeliver of the round
+//   kDeliver   server->client  protocol message      one routed message
+//   kClose     client->server  (empty)               orderly session close
+//   kClosed    server->client  (empty)               close acknowledged
+//   kError     server->client  UTF-8 reason          session killed
+//   kResume    client->server  ResumeInfo            rebind a session on a
+//                              fresh connection, declaring the last round
+//                              the client fully received
+//   kResumeAck server->client  u64 committed         rebind accepted; the
+//                              daemon replays rounds [completed, committed)
+//                              as kDeliver/kCommit right after this frame
+//   kPing      client->server  (empty)               liveness probe (round
+//                              carries a sequence number)
+//   kPong      server->client  (empty)               probe echo
 //
 // `FrameDecoder` is a push parser built for adversarial streams: bytes
 // arrive in arbitrary fragments (1-byte reads, frames split across reads,
@@ -83,10 +93,36 @@ enum class FrameType : std::uint8_t {
   kClose = 6,
   kClosed = 7,
   kError = 8,
+  kResume = 9,
+  kResumeAck = 10,
+  kPing = 11,
+  kPong = 12,
 };
 
 /// True iff `t` is a defined FrameType value (decoder validation).
 bool valid_frame_type(std::uint8_t t);
+
+/// kResume flags bit: the reconnect was triggered by missed heartbeats
+/// (lets the daemon count heartbeats_missed without its own timer state).
+inline constexpr std::uint16_t kResumeFlagHeartbeat = 0x1;
+
+/// kResume payload: which session to rebind, and where the client stands.
+struct ResumeInfo {
+  std::uint64_t token = 0;      // from the kOpenAck of the original open
+  std::uint64_t completed = 0;  // rounds the client fully received
+  std::uint16_t n = 0;          // echoed for a consistency check / adoption
+  std::uint16_t t = 0;
+
+  bool operator==(const ResumeInfo&) const = default;
+};
+
+Bytes encode_resume(const ResumeInfo& info);
+std::optional<ResumeInfo> decode_resume(std::span<const std::uint8_t> p);
+
+/// u64 little-endian payload helpers (kOpenAck token, kResumeAck count).
+Bytes encode_u64_payload(std::uint64_t v);
+std::optional<std::uint64_t> decode_u64_payload(
+    std::span<const std::uint8_t> p);
 
 struct FrameHeader {
   FrameType type = FrameType::kOpen;
@@ -149,6 +185,13 @@ class FrameDecoder {
   /// Sticky malformed-stream state; `error()` says what broke.
   bool failed() const { return !error_.empty(); }
   const std::string& error() const { return error_; }
+
+  /// Forgets buffered bytes and clears a sticky failure: the byte stream is
+  /// starting over (a reconnect). Any live slab is released cleanly -- it
+  /// returns to the pool once outstanding payload views drop -- so a torn
+  /// frame abandoned mid-parse leaks nothing across reconnects
+  /// (tests/test_frame.cpp asserts this via BufferPool::Stats).
+  void reset();
 
   /// Bytes currently buffered (tests).
   std::size_t buffered() const { return filled_ - off_; }

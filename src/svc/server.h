@@ -21,6 +21,19 @@
 // mismatch, frames for unknown sessions) kill the connection or session
 // with a structured error, never the daemon.
 //
+// Survivability: a session is named daemon-wide by the u64 resume token
+// issued in its kOpenAck, not by its connection. When a connection dies
+// the session *detaches* and survives for `resume_grace_ms` awaiting a
+// kResume on a fresh connection; the daemon keeps a bounded replay log of
+// the last committed rounds per session (kDeliver payload *views* into the
+// pooled receive slabs -- retention is zero-copy) and replays whatever the
+// reconnecting client declares it never received. kPing is answered with
+// kPong for client-side liveness detection, and a WireFaultPlan
+// (wire_fault.h) injects deterministic transport faults -- kills, stalls,
+// truncated flushes -- at chosen (session, round) points for the chaos
+// suites. The frame-level state machine is documented in DESIGN.md
+// ("failure & recovery").
+//
 // Threading: all connection and session state belongs to the loop thread;
 // start()/stop() run the loop on a background thread (tests), run() runs
 // it on the caller's thread (tools/coca_serve). Stats counters are
@@ -32,9 +45,11 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <unordered_map>
 
 #include "svc/event_loop.h"
 #include "svc/frame.h"
+#include "svc/wire_fault.h"
 
 namespace coca::svc {
 
@@ -49,13 +64,34 @@ struct DaemonOptions {
   int idle_timeout_ms = 30'000;
   /// Deterministic fault injection for tests: hard-close a connection
   /// (RST-style, no goodbye frames) as soon as any of its sessions commits
-  /// this many rounds. 0 = disabled.
+  /// this many rounds. 0 = disabled. Predates WireFaultPlan; kept because
+  /// it re-fires on every reconnect (a permanently bad daemon), which a
+  /// one-shot plan entry deliberately does not.
   int drop_connection_after_rounds = 0;
   /// SO_RCVBUF/SO_SNDBUF request for accepted connections (0 = kernel
   /// default). A whole round of kDeliver frames is flushed in one gather
   /// batch, so the send buffer should hold a full round to keep the flush
   /// to a single writev on the loopback fast path.
   int socket_buffer_bytes = 256 * 1024;
+
+  /// How long a session whose connection died is retained (detached)
+  /// awaiting a kResume before it is reaped. 0 disables resumption: a dead
+  /// connection kills its sessions immediately (the PR-7 behaviour).
+  int resume_grace_ms = 10'000;
+  /// Replay-log retention per session: at most this many committed rounds
+  /// and at most `replay_log_bytes` of retained payload (views into pooled
+  /// slabs; the byte bound is what limits slab pinning). The newest round
+  /// is always retained so a kill-before-flush is always replayable.
+  int replay_log_rounds = 8;
+  std::size_t replay_log_bytes = std::size_t{4} << 20;
+  /// Accept a kResume whose token the daemon does not know (it restarted):
+  /// the session is adopted at the client's declared round base and the
+  /// client re-drives the in-flight round. Off = unknown tokens are
+  /// rejected with kError.
+  bool adopt_unknown_resume = true;
+  /// Deterministic transport faults interpreted at the daemon site (the
+  /// client interprets its own site's entries; see wire_fault.h).
+  WireFaultPlan fault_plan;
 };
 
 /// Loop-thread-owned counters, readable from any thread.
@@ -68,6 +104,14 @@ struct DaemonStats {
   std::atomic<std::uint64_t> frames_received{0};
   std::atomic<std::uint64_t> bytes_received{0};
   std::atomic<std::uint64_t> protocol_errors{0};
+  // Robustness counters (all monotonic; surfaced by coca_serve's stats
+  // dump and asserted nonzero by the chaos tests).
+  std::atomic<std::uint64_t> reconnects{0};         // kResume frames seen
+  std::atomic<std::uint64_t> resumed_sessions{0};   // rebinds accepted
+  std::atomic<std::uint64_t> replayed_rounds{0};    // rounds re-delivered
+  std::atomic<std::uint64_t> replayed_bytes{0};     // bytes re-delivered
+  std::atomic<std::uint64_t> heartbeats_missed{0};  // kResume after misses
+  std::atomic<std::uint64_t> injected_faults{0};    // WireFaultPlan firings
 };
 
 class Daemon {
@@ -94,15 +138,23 @@ class Daemon {
 
  private:
   struct Conn;
+  struct Session;
   void accept_ready(Fd& listener);
   void conn_ready(int fd, std::uint32_t events);
   void handle_frame(Conn& c, Frame f);
+  void handle_commit(Conn& c, Session& s, Frame f);
+  void handle_resume(Conn& c, Frame f);
+  /// Detaches or reaps `s` from both maps (and its conn, if attached).
+  void erase_session(Session& s, bool count_closed);
   /// Enqueues one outbound frame without flushing -- the payload view is
   /// moved, never copied (the round-routing path corks all kDeliver frames
   /// plus the kCommit barrier, then flushes once).
   void queue_frame(Conn& c, const FrameHeader& h, net::Payload payload);
   void send_frame(Conn& c, const FrameHeader& h, net::Payload payload);
   void flush(Conn& c);
+  /// Fault path: writes at most `budget` bytes of the out queue (tearing a
+  /// frame at an arbitrary byte), then the caller hard-closes.
+  void flush_prefix(Conn& c, std::size_t budget);
   void close_conn(int fd);
   void sweep_idle();
   void loop();
@@ -113,6 +165,12 @@ class Daemon {
   Fd tcp_listener_;
   std::uint16_t tcp_port_ = 0;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  /// Daemon-wide session registry, keyed by resume token. Sessions belong
+  /// to the loop thread; a session outlives its connection while detached.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::uint64_t next_token_ = 1;
+  std::int32_t next_ordinal_ = 0;  // fault-plan session matching
+  WireFaultFuse fault_fuse_;
   std::atomic<bool> stop_{false};
   std::thread thread_;
   DaemonStats stats_;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "net/buffer_pool.h"
 #include "svc/frame.h"
 #include "util/rng.h"
 
@@ -196,7 +197,7 @@ TEST(Frame, BadVersionFails) {
 }
 
 TEST(Frame, UnknownTypeFails) {
-  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{9},
+  for (const std::uint8_t type : {std::uint8_t{0}, std::uint8_t{13},
                                   std::uint8_t{0x7F}, std::uint8_t{0xFF}}) {
     EXPECT_FALSE(valid_frame_type(type));
     Bytes b = wire_bytes(sample_frame(1));
@@ -206,9 +207,75 @@ TEST(Frame, UnknownTypeFails) {
     EXPECT_FALSE(dec.next().has_value());
     EXPECT_TRUE(dec.failed());
   }
-  for (std::uint8_t type = 1; type <= 8; ++type) {
+  for (std::uint8_t type = 1; type <= 12; ++type) {
     EXPECT_TRUE(valid_frame_type(type));
   }
+}
+
+TEST(Frame, ResumePayloadRoundTrip) {
+  ResumeInfo info;
+  info.token = 0xDEADBEEFCAFEF00DULL;
+  info.completed = 41;
+  info.n = 7;
+  info.t = 2;
+  const Bytes b = encode_resume(info);
+  ASSERT_EQ(b.size(), 20u);
+  const auto back = decode_resume(b);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, info);
+  EXPECT_FALSE(decode_resume(std::span<const std::uint8_t>(b.data(), 19)));
+  Bytes longer = b;
+  longer.push_back(0);
+  EXPECT_FALSE(decode_resume(longer));
+
+  const Bytes tok = encode_u64_payload(info.token);
+  ASSERT_EQ(tok.size(), 8u);
+  EXPECT_EQ(decode_u64_payload(tok), info.token);
+  EXPECT_FALSE(decode_u64_payload(std::span<const std::uint8_t>(tok.data(),
+                                                                7)));
+}
+
+TEST(Frame, ResetRecoversFromTornFrameWithoutLeakingSlabs) {
+  // The reconnect seam: a 1 MiB frame torn mid-payload is abandoned by
+  // reset(), the decoder parses the fresh stream cleanly, and once the
+  // views drop every slab touched went back to the pool -- outstanding
+  // slab count across the whole dance is zero.
+  const auto outstanding = [] {
+    const net::BufferPool::Stats s = net::BufferPool::instance().stats();
+    return (s.slab_allocs + s.slab_reuses) - s.slab_releases;
+  };
+  const std::uint64_t before = outstanding();
+  {
+    Frame big = sample_frame(3);
+    big.payload = net::Payload(Bytes(1 << 20, 0xAB));
+    const Bytes wire = wire_bytes(big);
+
+    FrameDecoder dec;
+    dec.feed(std::span<const std::uint8_t>(wire.data(), wire.size() / 2));
+    EXPECT_FALSE(dec.next().has_value());  // torn: nothing complete
+    EXPECT_GT(dec.buffered(), 0u);
+    dec.reset();  // connection died; the byte stream starts over
+    EXPECT_EQ(dec.buffered(), 0u);
+    EXPECT_FALSE(dec.failed());
+
+    // Also clear a sticky failure the same way.
+    FrameDecoder poisoned;
+    Bytes garbage(64, 0x5A);
+    poisoned.feed(garbage);
+    (void)poisoned.next();
+    EXPECT_TRUE(poisoned.failed());
+    poisoned.reset();
+    EXPECT_FALSE(poisoned.failed());
+
+    // The reset decoder parses the full frame from byte zero.
+    dec.feed(wire);
+    const auto parsed = dec.next();
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, big);
+    EXPECT_FALSE(dec.next().has_value());
+  }  // decoder + payload views dropped: slabs return to the pool
+  EXPECT_EQ(outstanding(), before)
+      << "torn-frame reset must not strand receive slabs";
 }
 
 TEST(Frame, OversizedLengthFailsBeforeAllocation) {

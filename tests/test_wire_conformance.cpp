@@ -140,8 +140,21 @@ TEST_F(WireConformance, RoundTripIsZeroCopyAndAllocationFree) {
   // zero counted payload copies (send side writes iovec views, receive
   // side delivers slab views), and once the buffer pool is warm a whole
   // session allocates no new slabs.
-  const auto broadcast_session = [this]() {
-    const auto session = client_->open(7, 2);
+  //
+  // Runs against a resumption-disabled daemon: the replay log (PR 9)
+  // deliberately pins receive slabs for up to replay_log_rounds committed
+  // rounds, which makes steady-state slab demand depend on read
+  // fragmentation. Retention's own pool discipline (no leak once sessions
+  // close) is asserted by the wire-recovery chaos suite.
+  const std::string path = unique_uds_path("zerocopy");
+  svc::DaemonOptions dopt;
+  dopt.uds_path = path;
+  dopt.resume_grace_ms = 0;  // no retention: the transport-only profile
+  svc::Daemon daemon(dopt);
+  daemon.start();
+  const auto client = svc::WireClient::connect_uds_path(path);
+  const auto broadcast_session = [&client]() {
+    const auto session = client->open(7, 2);
     net::SyncNetwork net(7, 2);
     net.set_round_router(session.get());
     for (int i = 0; i < 7; ++i) {
@@ -164,6 +177,8 @@ TEST_F(WireConformance, RoundTripIsZeroCopyAndAllocationFree) {
   EXPECT_EQ(stats.payload_copies, 0u);
   EXPECT_EQ(stats.payload_bytes_copied, 0u);
   EXPECT_EQ(steady, 0u) << "steady-state sessions must reuse pooled slabs";
+  daemon.stop();
+  ::unlink(path.c_str());
 }
 
 TEST_F(WireConformance, OsThreadBackendOverWire) {

@@ -11,7 +11,12 @@
 //   bench_runner --wire                   # add the "wire_entries" section:
 //                                         # every protocol over an in-process
 //                                         # epoll daemon (UDS and TCP
-//                                         # loopback) vs. the simulator
+//                                         # loopback) vs. the simulator --
+//                                         # plus "wire_fault_entries": the
+//                                         # recovery cost (latency, replayed
+//                                         # rounds/bytes, reconnects) of each
+//                                         # wire-fault kind, bit-identical
+//                                         # convergence enforced
 //
 // The matrix is pinned (protocol, n, ell, threads, seed) so runs are
 // comparable across commits; every entry reports wall-clock seconds,
@@ -50,8 +55,10 @@
 #include "net/buffer_pool.h"
 #include "net/payload.h"
 #include "net/sync_network.h"
+#include "svc/chaos.h"
 #include "svc/client.h"
 #include "svc/server.h"
+#include "svc/wire_fault.h"
 #include "util/rng.h"
 
 namespace {
@@ -70,6 +77,8 @@ using namespace coca;
                "  --trace            embed per-entry phase_bits breakdowns\n"
                "  --wire             add wire_entries (simulator vs UDS/TCP "
                "loopback daemon)\n"
+               "                     and wire_fault_entries (recovery cost "
+               "per fault kind)\n"
                "  --wire-uds PATH    with --wire: connect to an already "
                "running coca_serve\n"
                "                     on PATH instead of an in-process "
@@ -359,17 +368,96 @@ std::vector<WireResult> run_wire_matrix(int reps,
   return rows;
 }
 
+/// Wire-fault recovery matrix (--wire): one row per WireFaultPlan kind, a
+/// single fault injected at round 1 of a BAPlus n=7 run through the chaos
+/// harness (daemon + recovery-enabled client). Every row must recover
+/// bit-identically -- a divergence is a hard abort, not a slow row -- so
+/// what the section tracks across commits is the *cost* of recovery:
+/// wall-clock, client-measured recovery latency, reconnects, and replayed
+/// rounds/bytes per fault kind.
+struct WireFaultBenchResult {
+  const char* kind = "";
+  std::uint64_t seed = 0;
+  double seconds = 0;
+  std::uint64_t recovery_ms = 0;
+  std::uint64_t outages = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t replayed_rounds = 0;
+  std::uint64_t replayed_bytes = 0;
+};
+
+std::vector<WireFaultBenchResult> run_wire_fault_matrix(int reps) {
+  using Kind = svc::WireFaultPlan::Kind;
+  std::vector<WireFaultBenchResult> rows;
+  std::uint64_t seed = 0xFA17;
+  for (const Kind kind :
+       {Kind::kKillBeforeFlush, Kind::kKillAfterFlush, Kind::kDelayFlush,
+        Kind::kStallRead, Kind::kTruncateFrame, Kind::kClientKill,
+        Kind::kClientPartialWrite}) {
+    adv::FuzzCase c;
+    c.protocol = "BAPlus";
+    c.n = 7;
+    c.t = 2;
+    c.ell = 256;
+    c.input_seed = seed;
+    c.threads = 1;
+
+    svc::WireFaultPlan::Entry e;
+    e.kind = kind;
+    e.round = 1;
+    if (kind == Kind::kDelayFlush || kind == Kind::kStallRead) {
+      e.delay_ms = 50;
+    }
+    if (kind == Kind::kTruncateFrame || kind == Kind::kClientPartialWrite) {
+      e.truncate_bytes = 40;
+    }
+    svc::ChaosOptions copt;
+    copt.plan.entries.push_back(e);
+    copt.backoff_initial_ms = 1;
+    copt.backoff_max_ms = 20;
+
+    WireFaultBenchResult row;
+    row.kind = svc::to_string(kind);
+    row.seed = seed++;
+    row.seconds = 1e100;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      const svc::ChaosReport r = svc::run_case_under_wire_faults(c, copt);
+      const auto stop = std::chrono::steady_clock::now();
+      if (!r.identical) {
+        throw Error(std::string("bench_runner: BAPlus under ") + row.kind +
+                    " did not recover bit-identically: " +
+                    (r.mismatch.empty() ? r.wired.failure : r.mismatch));
+      }
+      row.seconds = std::min(
+          row.seconds, std::chrono::duration<double>(stop - start).count());
+      row.recovery_ms = r.stats.client_recovery_ms;
+      row.outages = r.stats.client_outages;
+      row.reconnects = r.stats.client_reconnects;
+      row.replayed_rounds = r.stats.daemon_replayed_rounds;
+      row.replayed_bytes = r.stats.daemon_replayed_bytes;
+    }
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 /// Zero-copy over the wire: the same honest all-to-all broadcast as
 /// zero_copy_probe, but with every round crossing the UDS daemon. The send
 /// path writes (header, payload-view) iovecs straight from the protocol's
 /// buffers, and the receive path reads into pooled slabs and delivers
 /// views, so payload_copies must stay exactly zero end to end -- and once
 /// the pool is warm, a steady-state session must allocate no new slabs.
+/// Probed with session resumption off: the replay log deliberately pins
+/// receive slabs across committed rounds, which makes steady-state slab
+/// demand fragmentation-dependent; retention's own no-leak discipline is
+/// wire_soak's job.
 bool wire_zero_copy_probe(std::string* detail) {
   const std::string uds_path =
       "/tmp/coca-bench-zc-" + std::to_string(::getpid()) + ".sock";
   svc::DaemonOptions dopt;
   dopt.uds_path = uds_path;
+  dopt.resume_grace_ms = 0;  // no retention: the transport-only profile
   svc::Daemon daemon(dopt);
   daemon.start();
   net::RunStats stats;
@@ -491,6 +579,7 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
                 const std::vector<FaultResult>& fault_results,
                 const std::vector<ThroughputResult>& throughput_results,
                 const std::vector<WireResult>& wire_results,
+                const std::vector<WireFaultBenchResult>& wire_fault_results,
                 const std::string& baseline_text, bool smoke) {
   os << "{\n";
   os << "  \"schema\": \"coca-bench-v2\",\n";
@@ -590,6 +679,29 @@ void write_json(std::ostream& os, const std::vector<Result>& results,
     }
     os << "  ]";
   }
+  if (!wire_fault_results.empty()) {
+    os << ",\n  \"wire_fault_entries\": [\n";
+    for (std::size_t i = 0; i < wire_fault_results.size(); ++i) {
+      const WireFaultBenchResult& r = wire_fault_results[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "    {\"bench\": \"wire_fault\", \"protocol\": \"BAPlus\", "
+          "\"fault\": \"%s\", \"n\": 7, \"t\": 2, \"ell_bits\": 256, "
+          "\"threads\": 1, \"seed\": %llu, \"seconds\": %.6f, "
+          "\"recovery_ms\": %llu, \"outages\": %llu, \"reconnects\": %llu, "
+          "\"replayed_rounds\": %llu, \"replayed_bytes\": %llu}%s",
+          r.kind, static_cast<unsigned long long>(r.seed), r.seconds,
+          static_cast<unsigned long long>(r.recovery_ms),
+          static_cast<unsigned long long>(r.outages),
+          static_cast<unsigned long long>(r.reconnects),
+          static_cast<unsigned long long>(r.replayed_rounds),
+          static_cast<unsigned long long>(r.replayed_bytes),
+          i + 1 < wire_fault_results.size() ? ",\n" : "\n");
+      os << buf;
+    }
+    os << "  ]";
+  }
   if (!baseline_text.empty()) {
     os << ",\n  \"baseline\": " << baseline_text;
   }
@@ -676,6 +788,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<WireResult> wire_results;
+  std::vector<WireFaultBenchResult> wire_fault_results;
   if (wire) {
     std::string detail;
     if (wire_zero_copy_probe(&detail)) {
@@ -697,6 +810,19 @@ int main(int argc, char** argv) {
                 << ": sim " << r.sim_seconds << "s, wire " << r.wire_seconds
                 << "s, " << r.honest_bits << " honest bits, " << r.rounds
                 << " rounds (bit-identical)\n";
+    }
+    try {
+      wire_fault_results = run_wire_fault_matrix(smoke ? 1 : reps);
+    } catch (const std::exception& ex) {
+      std::cerr << "bench_runner: " << ex.what() << "\n";
+      return 1;
+    }
+    for (const WireFaultBenchResult& r : wire_fault_results) {
+      std::cerr << "wire_fault " << r.kind << ": " << r.seconds << "s, "
+                << r.recovery_ms << "ms recovery, " << r.reconnects
+                << " reconnects, " << r.replayed_rounds
+                << " rounds replayed (" << r.replayed_bytes
+                << " bytes, bit-identical)\n";
     }
   }
 
@@ -732,7 +858,7 @@ int main(int argc, char** argv) {
 
   if (out_path.empty()) {
     write_json(std::cout, results, fault_results, throughput_results,
-               wire_results, baseline_text, smoke);
+               wire_results, wire_fault_results, baseline_text, smoke);
   } else {
     std::ofstream out(out_path);
     if (!out) {
@@ -740,7 +866,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     write_json(out, results, fault_results, throughput_results, wire_results,
-               baseline_text, smoke);
+               wire_fault_results, baseline_text, smoke);
   }
   return status;
 }

@@ -26,10 +26,16 @@ using namespace coca;
 [[noreturn]] void usage(const std::string& error = "") {
   if (!error.empty()) std::cerr << "coca_serve: " << error << "\n\n";
   std::cerr << "usage: coca_serve [options]\n"
-               "  --uds PATH      listen on a Unix-domain socket at PATH\n"
-               "  --tcp PORT      listen on 127.0.0.1:PORT (0 = ephemeral,\n"
-               "                  bound port printed to stderr)\n"
-               "  --idle-ms MS    kill sessions idle for MS (default 30000)\n"
+               "  --uds PATH       listen on a Unix-domain socket at PATH\n"
+               "  --tcp PORT       listen on 127.0.0.1:PORT (0 = ephemeral,\n"
+               "                   bound port printed to stderr)\n"
+               "  --idle-ms MS     kill sessions idle for MS (default 30000)\n"
+               "  --grace-ms MS    retain disconnected sessions for MS\n"
+               "                   awaiting kResume (0 disables resumption;\n"
+               "                   default 10000)\n"
+               "  --replay-rounds N  per-session replay-log depth (default 8)\n"
+               "  --no-adopt       reject kResume tokens this daemon did not\n"
+               "                   issue (default: adopt, for restarts)\n"
                "At least one of --uds / --tcp is required.\n";
   std::exit(2);
 }
@@ -61,6 +67,16 @@ int main(int argc, char** argv) {
       } else if (arg == "--idle-ms") {
         options.idle_timeout_ms = std::stoi(next());
         if (options.idle_timeout_ms < 1) usage("--idle-ms must be >= 1");
+      } else if (arg == "--grace-ms") {
+        options.resume_grace_ms = std::stoi(next());
+        if (options.resume_grace_ms < 0) usage("--grace-ms must be >= 0");
+      } else if (arg == "--replay-rounds") {
+        options.replay_log_rounds = std::stoi(next());
+        if (options.replay_log_rounds < 0) {
+          usage("--replay-rounds must be >= 0");
+        }
+      } else if (arg == "--no-adopt") {
+        options.adopt_unknown_resume = false;
       } else if (arg == "--help" || arg == "-h") {
         usage();
       } else {
@@ -97,7 +113,14 @@ int main(int argc, char** argv) {
               << s.rounds_committed.load() << " rounds, "
               << s.frames_received.load() << " frames, "
               << s.bytes_received.load() << " bytes, "
-              << s.protocol_errors.load() << " protocol errors\n";
+              << s.protocol_errors.load() << " protocol errors\n"
+              << "coca_serve: recovery: "
+              << s.reconnects.load() << " reconnects, "
+              << s.resumed_sessions.load() << " resumed sessions, "
+              << s.replayed_rounds.load() << " replayed rounds ("
+              << s.replayed_bytes.load() << " bytes), "
+              << s.heartbeats_missed.load() << " heartbeats missed, "
+              << s.injected_faults.load() << " injected faults\n";
   } catch (const std::exception& e) {
     std::cerr << "coca_serve: " << e.what() << "\n";
     return 1;

@@ -10,6 +10,14 @@
 //                                               # victim inside a sharded
 //                                               # engine; the oracle also
 //                                               # checks neighbor isolation
+//   fuzz_driver --wire-faults ...               # run every case through the
+//                                               # wire-chaos harness with a
+//                                               # sampled WireFaultPlan; the
+//                                               # oracle requires the wired
+//                                               # run to be bit-identical or
+//                                               # to resolve structurally
+//   fuzz_driver --wire-replay FILE              # re-execute one
+//                                               # coca-wirechaos-v1 repro
 //
 // Exit status: 0 = verdict matches expectation (clean sweep, or a violation
 // under --expect-violation), 1 = it does not, 2 = usage error.
@@ -24,6 +32,8 @@
 #include "adversary/fuzzer.h"
 #include "engine/engine.h"
 #include "obs/adapt.h"
+#include "svc/chaos.h"
+#include "svc/wire_fault.h"
 #include "util/rng.h"
 #include "obs/export.h"
 #include "obs/obs.h"
@@ -57,6 +67,15 @@ using coca::adv::FuzzerOptions;
       "                       oracle additionally requires every honest\n"
       "                       neighbor instance to be bit-identical to its\n"
       "                       solo run (works with --replay too)\n"
+      "  --wire-faults        run each case through a daemon + recovery\n"
+      "                       client under a sampled wire-fault schedule\n"
+      "                       (svc::run_case_under_wire_faults): the wired\n"
+      "                       run must be bit-identical to the fault-free\n"
+      "                       baseline or resolve to a structured give-up;\n"
+      "                       anything else is a violation, shrunk by\n"
+      "                       greedily dropping plan entries and written to\n"
+      "                       --corpus-out as wire-*.json (coca-wirechaos-v1)\n"
+      "  --wire-replay FILE   re-execute one coca-wirechaos-v1 reproducer\n"
       "  --list               print the known protocol targets\n";
   std::exit(2);
 }
@@ -177,6 +196,146 @@ int run_sharded_search(const FuzzerOptions& options,
   return expect_violation ? (violated ? 0 : 1) : (violated ? 1 : 0);
 }
 
+/// Chaos-harness policy for the search: tight local backoff, generous
+/// budgets (the point is to find divergence, not budget exhaustion).
+coca::svc::ChaosOptions wire_chaos_options(
+    const coca::svc::WireFaultPlan& plan) {
+  coca::svc::ChaosOptions opt;
+  opt.plan = plan;
+  opt.round_timeout_ms = 10'000;
+  opt.max_attempts = 10;
+  opt.backoff_initial_ms = 1;
+  opt.backoff_max_ms = 20;
+  return opt;
+}
+
+void print_wire_failure(const coca::adv::FuzzCase& c,
+                        const coca::svc::WireFaultPlan& plan,
+                        const coca::svc::ChaosReport& rep) {
+  std::cout << "wire-chaos violation (" << c.protocol << ", n=" << c.n
+            << ", mutation seed=" << c.mutation.seed << ", "
+            << plan.entries.size() << " fault entries):\n";
+  if (!rep.mismatch.empty()) std::cout << "  " << rep.mismatch << "\n";
+  if (!rep.wired.failure.empty()) {
+    std::cout << "  wired failure: " << rep.wired.failure << "\n";
+  }
+  for (const auto& e : plan.entries) {
+    std::cout << "  fault: " << coca::svc::to_string(e.kind) << " at round "
+              << e.round << "\n";
+  }
+}
+
+/// The wire-fault search target: every drawn case rides the chaos harness
+/// with a seeded WireFaultPlan. A violation is a run that neither converged
+/// bit-identically to the fault-free baseline nor resolved structurally.
+/// Counterexamples shrink by greedily dropping plan entries (the case
+/// itself is left alone: the plan is the search dimension here) and land in
+/// --corpus-out as self-contained coca-wirechaos-v1 reproducers.
+int run_wire_fault_search(const FuzzerOptions& options,
+                          const std::string& corpus_out,
+                          bool expect_violation) {
+  coca::adv::Fuzzer fuzzer(options);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(options.budget_sec);
+  std::size_t executed = 0;
+  std::size_t failures = 0;
+  while (std::chrono::steady_clock::now() < deadline &&
+         (options.max_cases == 0 || executed < options.max_cases)) {
+    coca::adv::FuzzCase c = fuzzer.next_case();
+    // Each case runs twice (baseline + wired) plus shrink reruns; keep the
+    // payload scale bounded so the sweep stays a search.
+    c.ell = std::min<std::size_t>(c.ell, 256);
+    coca::svc::WireFaultSampleConfig cfg;
+    cfg.seed = coca::Rng::derive_stream_seed(options.seed, 0x31BEULL + executed);
+    const coca::svc::WireFaultPlan plan =
+        coca::svc::sample_wire_fault_plan(cfg);
+    ++executed;
+    if (plan.empty()) continue;
+    const coca::svc::ChaosReport rep =
+        coca::svc::run_case_under_wire_faults(c, wire_chaos_options(plan));
+    if (rep.ok()) continue;
+    ++failures;
+    // Greedy entry-wise shrink: drop each fault in turn, keep the drop if
+    // the violation survives without it.
+    coca::svc::WireFaultPlan shrunk = plan;
+    coca::svc::ChaosReport last = rep;
+    if (options.shrink) {
+      for (std::size_t i = 0; i < shrunk.entries.size();) {
+        coca::svc::WireFaultPlan trial = shrunk;
+        trial.entries.erase(trial.entries.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        const coca::svc::ChaosReport r =
+            coca::svc::run_case_under_wire_faults(c, wire_chaos_options(trial));
+        if (!r.ok()) {
+          shrunk = std::move(trial);
+          last = r;
+        } else {
+          ++i;
+        }
+      }
+    }
+    print_wire_failure(c, shrunk, last);
+    if (!corpus_out.empty()) {
+      CorpusEntry entry;
+      entry.c = c;
+      entry.violations = {last.mismatch.empty() ? "wired run did not resolve"
+                                                : last.mismatch};
+      entry.note = "wire-chaos counterexample";
+      const std::string path = corpus_out + "/wire-" + c.protocol + "-" +
+                               std::to_string(c.mutation.seed) + ".json";
+      std::ofstream out(path);
+      if (!out) {
+        std::cerr << "fuzz_driver: cannot write " << path << "\n";
+        return 2;
+      }
+      out << coca::svc::wire_chaos_to_json(entry, shrunk);
+      std::cout << "  wrote " << path << "\n";
+    }
+  }
+  std::cout << "executed " << executed << " wire-chaos cases, " << failures
+            << " violations\n";
+  if (failures == 0) {
+    std::cout << "no violations: every wired run converged bit-identically "
+                 "or resolved structurally\n";
+  }
+  const bool violated = failures != 0;
+  return expect_violation ? (violated ? 0 : 1) : (violated ? 1 : 0);
+}
+
+/// Re-executes one coca-wirechaos-v1 reproducer deterministically.
+int wire_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "fuzz_driver: cannot open " << path << "\n";
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const coca::svc::WireChaosCase wc =
+      coca::svc::wire_chaos_from_json(buf.str());
+  std::cout << "wire-replay " << path << " (" << wc.entry.c.protocol
+            << ", n=" << wc.entry.c.n << ", seed="
+            << wc.entry.c.mutation.seed << ", " << wc.plan.entries.size()
+            << " fault entries)\n";
+  const coca::svc::ChaosReport rep = coca::svc::run_case_under_wire_faults(
+      wc.entry.c, wire_chaos_options(wc.plan));
+  if (rep.identical) {
+    std::cout << "  recovered bit-identically ("
+              << rep.stats.client_outages << " outages, "
+              << rep.stats.daemon_replayed_rounds << " rounds replayed)\n";
+    return 0;
+  }
+  if (rep.structured) {
+    std::cout << "  resolved structurally: "
+              << (rep.wired.failure.empty() ? "per-party outcomes"
+                                            : rep.wired.failure)
+              << "\n";
+    return 0;
+  }
+  print_wire_failure(wc.entry.c, wc.plan, rep);
+  return 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -184,9 +343,11 @@ int main(int argc, char** argv) {
   options.sizes = {4, 7};
   std::string corpus_out;
   std::string replay_path;
+  std::string wire_replay_path;
   bool expect_violation = false;
   bool has_threads = false;
   bool sharded = false;
+  bool wire_faults = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -219,6 +380,10 @@ int main(int argc, char** argv) {
         expect_violation = true;
       } else if (arg == "--sharded") {
         sharded = true;
+      } else if (arg == "--wire-faults") {
+        wire_faults = true;
+      } else if (arg == "--wire-replay") {
+        wire_replay_path = arg_value(argc, argv, i, arg);
       } else if (arg == "--list") {
         for (const auto& p : coca::adv::known_protocols()) {
           std::cout << p << "\n";
@@ -236,12 +401,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (sharded && wire_faults) usage("--sharded and --wire-faults conflict");
+
   try {
+    if (!wire_replay_path.empty()) {
+      const int status = wire_replay(wire_replay_path);
+      if (status == 2) return 2;
+      return expect_violation ? (status == 1 ? 0 : 1) : status;
+    }
+
     if (!replay_path.empty()) {
       const int status =
           replay(replay_path, options.threads, has_threads, sharded);
       if (status == 2) return 2;
       return expect_violation ? (status == 1 ? 0 : 1) : status;
+    }
+
+    if (wire_faults) {
+      return run_wire_fault_search(options, corpus_out, expect_violation);
     }
 
     if (sharded) {
